@@ -1,0 +1,131 @@
+// Security-margin ablation: how robust is the MCML/PG-MCML DPA resistance
+// to the physical parameters behind it?  Sweeps
+//   * the per-instance leg-imbalance residual (process mismatch),
+//   * the supply-noise floor,
+//   * the trace budget,
+// and reports the CPA key rank -- mapping the boundary where current-mode
+// logic *would* start to leak.  (The paper evaluates one point of this
+// space; the sweep is this reproduction's extension.)
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "pgmcml/core/dpa_flow.hpp"
+#include "pgmcml/core/sbox_unit.hpp"
+#include "pgmcml/netlist/logicsim.hpp"
+#include "pgmcml/power/kernels.hpp"
+#include "pgmcml/sca/attack.hpp"
+#include "pgmcml/util/rng.hpp"
+#include "pgmcml/util/table.hpp"
+
+namespace {
+
+using namespace pgmcml;
+using cells::CellLibrary;
+
+/// Acquires PG-MCML traces with explicit tracer knobs.
+sca::TraceSet acquire(double residual_sigma, double supply_noise_ratio,
+                      std::size_t n_traces, std::uint8_t key) {
+  const CellLibrary lib = CellLibrary::pgmcml90();
+  const synth::MapResult mapped = core::map_reduced_aes(lib);
+
+  power::TraceOptions topt;
+  topt.t_start = 0.4e-9;
+  topt.dt = 2e-12;
+  topt.samples = 500;
+  topt.residual_sigma = residual_sigma;
+  topt.supply_noise_ratio = supply_noise_ratio;
+  topt.seed = 77;
+  const power::PowerTracer tracer(mapped.design, lib,
+                                  power::default_kernels(), topt);
+
+  std::vector<netlist::NetId> p_nets(8), k_nets(8);
+  netlist::NetId const_net = netlist::kNoNet;
+  for (std::size_t i = 0; i < mapped.design.inputs().size(); ++i) {
+    const std::string& name = mapped.design.port_name(i, true);
+    if (name[0] == 'p') {
+      p_nets[name[2] - '0'] = mapped.design.inputs()[i];
+    } else if (name[0] == 'k') {
+      k_nets[name[2] - '0'] = mapped.design.inputs()[i];
+    } else {
+      const_net = mapped.design.inputs()[i];
+    }
+  }
+
+  util::Rng rng(13);
+  sca::TraceSet traces(topt.samples);
+  for (std::size_t t = 0; t < n_traces; ++t) {
+    const auto plaintext = static_cast<std::uint8_t>(rng.bounded(256));
+    netlist::LogicSim sim(mapped.design, &lib);
+    std::vector<std::pair<netlist::NetId, bool>> init;
+    for (int b = 0; b < 8; ++b) {
+      init.emplace_back(k_nets[b], (key >> b) & 1);
+      init.emplace_back(p_nets[b], false);
+    }
+    if (const_net != netlist::kNoNet) init.emplace_back(const_net, false);
+    sim.apply_and_settle(init);
+    sim.clear_events();
+    sim.run_until(0.5e-9);
+    std::vector<std::pair<netlist::NetId, bool>> stim;
+    for (int b = 0; b < 8; ++b) {
+      stim.emplace_back(p_nets[b], (plaintext >> b) & 1);
+    }
+    sim.apply_and_settle(stim);
+    traces.add(plaintext, tracer.trace(sim.events(), {}, t));
+  }
+  return traces;
+}
+
+void print_security_ablation() {
+  const std::uint8_t key = 0x2b;
+
+  util::Table t1("PG-MCML security vs leg-imbalance residual (2000 traces)");
+  t1.header({"residual sigma", "key rank", "margin"});
+  for (double sigma : {0.002, 0.01, 0.05, 0.2}) {
+    const auto traces = acquire(sigma, 0.0025, 2000, key);
+    const auto r = sca::cpa_attack(traces);
+    t1.row({util::Table::num(sigma, 3), std::to_string(r.key_rank(key)),
+            util::Table::num(r.margin(key), 4)});
+  }
+  t1.print();
+  std::printf(
+      "Reading: at realistic Pelgrom mismatch (sigma <= ~1%%) the residuals "
+      "are buried and instance-random;\nat gross imbalance (>= ~20%%) the "
+      "output cells' residuals align with the HW model and the key\nfalls "
+      "-- the quantitative version of why MCML's DPA resistance depends on "
+      "matched pairs and the\nbalanced fat-wire routing the paper's flow "
+      "enforces.\n\n");
+
+  util::Table t2("CMOS-style check: noise floor needed to hide the CMOS leak");
+  t2.header({"noise sigma [uA]", "key rank (CMOS, 2000 traces)"});
+  for (double noise : {2e-6, 100e-6, 1e-3, 5e-3}) {
+    core::DpaFlowOptions opt;
+    opt.num_traces = 2000;
+    opt.samples = 500;
+    opt.noise_sigma = noise;
+    const auto r = core::run_dpa_flow(CellLibrary::cmos90(), opt);
+    t2.row({util::Table::num(noise * 1e6, 0), std::to_string(r.key_rank)});
+  }
+  t2.print();
+  std::printf(
+      "Reading: CPA averages noise away -- only mA-class noise floors "
+      "(thousands of times the scope's)\nbury the CMOS leak at this trace "
+      "budget, and more traces undo even that.  The structural fix\n"
+      "(constant-current logic) is what actually defeats the attack.\n\n");
+}
+
+void BM_SecurityTracePoint(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acquire(0.002, 0.0025, 16, 0x2b));
+  }
+}
+BENCHMARK(BM_SecurityTracePoint)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_security_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Reproduces Fig. 6 (and the surrounding security evaluation of Section 6):
+// CPA with the Hamming-weight-of-S-box-output model against the reduced AES
+// (AddRoundKey + S-box) in all three logic styles.
+//
+// Expected outcome, as in the paper: every attack on CMOS succeeds; neither
+// conventional MCML nor PG-MCML reveals the key -- the correct key's
+// correlation curve stays buried among the wrong guesses.
+//
+// PGMCML_FIG6_TRACES can override the per-style trace budget (default 4000;
+// the paper's full sweep is 65536).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "pgmcml/core/dpa_flow.hpp"
+#include "pgmcml/sca/tvla.hpp"
+#include "pgmcml/util/table.hpp"
+
+namespace {
+
+using namespace pgmcml;
+using cells::CellLibrary;
+
+std::size_t trace_budget() {
+  if (const char* env = std::getenv("PGMCML_FIG6_TRACES")) {
+    return static_cast<std::size_t>(std::atoll(env));
+  }
+  return 4000;
+}
+
+void print_fig6() {
+  core::DpaFlowOptions opt;
+  opt.num_traces = trace_budget();
+  opt.samples = 600;
+  opt.keep_time_curves = true;
+
+  util::Table t("Fig. 6 / Section 6 -- CPA on the reduced AES");
+  t.header({"Style", "traces", "key rank", "best guess", "true key",
+            "peak corr (true)", "peak corr (best wrong)", "MTD"});
+
+  for (const CellLibrary& lib :
+       {CellLibrary::cmos90(), CellLibrary::mcml90(), CellLibrary::pgmcml90()}) {
+    core::DpaFlowOptions style_opt = opt;
+    style_opt.compute_mtd = lib.style() == cells::LogicStyle::kCmos;
+    const core::DpaFlowResult r = core::run_dpa_flow(lib, style_opt);
+    double best_wrong = 0.0;
+    for (int k = 0; k < 256; ++k) {
+      if (k != opt.key) {
+        best_wrong = std::max(best_wrong, r.cpa.peak_correlation[k]);
+      }
+    }
+    t.row({to_string(lib.style()), std::to_string(opt.num_traces),
+           std::to_string(r.key_rank), std::to_string(r.cpa.best_guess),
+           std::to_string(int(opt.key)),
+           util::Table::num(r.cpa.peak_correlation[opt.key], 4),
+           util::Table::num(best_wrong, 4),
+           r.mtd > 0 ? std::to_string(r.mtd) : std::string("-")});
+
+    // The Fig. 6 plot itself: correlation-vs-time of the true key against
+    // the envelope of all wrong guesses, at a few time points.
+    if (lib.style() == cells::LogicStyle::kPgMcml &&
+        !r.cpa.correlation_vs_time.empty()) {
+      std::printf(
+          "\nFig. 6 detail (PG-MCML): correlation vs time, true key against "
+          "the wrong-guess envelope\n");
+      std::printf("  %-12s %-12s %-12s\n", "t [ps]", "corr(true)",
+                  "max |corr(wrong)|");
+      const std::size_t stride = r.cpa.correlation_vs_time.size() / 12;
+      for (std::size_t s = 0; s < r.cpa.correlation_vs_time.size();
+           s += stride) {
+        double wrong = 0.0;
+        for (int k = 0; k < 256; ++k) {
+          if (k != opt.key) {
+            wrong = std::max(wrong,
+                             std::fabs(r.cpa.correlation_vs_time[s][k]));
+          }
+        }
+        std::printf("  %-12.0f %-12.4f %-12.4f\n",
+                    (0.4e-9 + s * opt.dt) * 1e12,
+                    r.cpa.correlation_vs_time[s][opt.key], wrong);
+      }
+    }
+  }
+  std::printf("\n");
+  t.print();
+  std::printf(
+      "\nReading: rank 0 = key disclosed (expected for CMOS only); a large "
+      "rank with negative margin = the black curve of Fig. 6 is not "
+      "distinguishable.\n\n");
+
+  // Model-free leakage assessment (TVLA, fixed-vs-random Welch t-test) on
+  // the same acquisition engine: |t| > 4.5 flags leakage.
+  util::Table tv("TVLA fixed-vs-random t-test (methodological extension)");
+  tv.header({"Style", "fixed/random traces", "max |t|", "verdict"});
+  for (const CellLibrary& lib :
+       {CellLibrary::cmos90(), CellLibrary::mcml90(), CellLibrary::pgmcml90()}) {
+    core::DpaFlowOptions aopt;
+    aopt.num_traces = std::min<std::size_t>(trace_budget() / 2, 1500);
+    aopt.samples = 500;
+    const sca::TraceSet random_ts = core::acquire_reduced_aes_traces(lib, aopt);
+    core::DpaFlowOptions fopt = aopt;
+    fopt.fixed_plaintext = 0x52;  // conventional TVLA fixed vector
+    fopt.seed = aopt.seed + 1;    // independent noise draws
+    const sca::TraceSet fixed_ts = core::acquire_reduced_aes_traces(lib, fopt);
+    std::vector<std::vector<double>> fixed;
+    std::vector<std::vector<double>> random;
+    for (std::size_t i = 0; i < random_ts.num_traces(); ++i) {
+      random.push_back(random_ts.trace(i));
+    }
+    for (std::size_t i = 0; i < fixed_ts.num_traces(); ++i) {
+      fixed.push_back(fixed_ts.trace(i));
+    }
+    const sca::TvlaResult tr = sca::tvla_t_test(fixed, random);
+    tv.row({to_string(lib.style()),
+            std::to_string(tr.fixed_traces) + "/" +
+                std::to_string(tr.random_traces),
+            util::Table::num(tr.max_abs_t, 2),
+            tr.leaks() ? "LEAKS" : "pass"});
+  }
+  tv.print();
+  std::printf(
+      "\nReading: TVLA is a *detection* test, not an attack -- it flags any "
+      "statistical data dependence.\nThe MCML styles' steering transients "
+      "are data-dependent in timing even though their amplitude\ncarries no "
+      "exploitable HW correlation, so a sensitive-enough t-test flags them "
+      "while CPA (above)\nstill cannot rank the key.  This mirrors published "
+      "TVLA results on hiding countermeasures and\nrefines the paper's "
+      "CPA-only security claim.\n\n");
+}
+
+void BM_CpaAttackOnly(benchmark::State& state) {
+  core::DpaFlowOptions opt;
+  opt.num_traces = 256;
+  opt.samples = 300;
+  const sca::TraceSet traces =
+      core::acquire_reduced_aes_traces(CellLibrary::cmos90(), opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sca::cpa_attack(traces));
+  }
+}
+BENCHMARK(BM_CpaAttackOnly)->Unit(benchmark::kMillisecond);
+
+void BM_TraceAcquisition(benchmark::State& state) {
+  core::DpaFlowOptions opt;
+  opt.num_traces = 32;
+  opt.samples = 300;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::acquire_reduced_aes_traces(CellLibrary::pgmcml90(), opt));
+  }
+}
+BENCHMARK(BM_TraceAcquisition)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig6();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

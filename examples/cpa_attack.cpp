@@ -1,0 +1,50 @@
+// Security-evaluator workflow: mount a correlation power attack against the
+// reduced AES target in each logic style and watch the key rank evolve with
+// the number of traces -- the experiment behind Fig. 6.
+//
+// Usage: ./build/examples/cpa_attack [traces]   (default 3000)
+#include <cstdio>
+#include <cstdlib>
+
+#include "pgmcml/core/dpa_flow.hpp"
+#include "pgmcml/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pgmcml;
+  const std::size_t budget = argc > 1 ? std::atoll(argv[1]) : 3000;
+  const std::uint8_t secret_key = 0x2b;
+
+  std::printf("Attacking sbox(p ^ k), secret key = 0x%02x, up to %zu traces\n\n",
+              secret_key, budget);
+
+  for (const cells::CellLibrary& lib :
+       {cells::CellLibrary::cmos90(), cells::CellLibrary::mcml90(),
+        cells::CellLibrary::pgmcml90()}) {
+    core::DpaFlowOptions opt;
+    opt.num_traces = budget;
+    opt.key = secret_key;
+    opt.samples = 600;
+    const sca::TraceSet traces = core::acquire_reduced_aes_traces(lib, opt);
+
+    util::Table t("CPA vs trace count -- " + lib.name());
+    t.header({"traces", "key rank", "best guess", "corr(true)", "margin"});
+    for (std::size_t n = budget / 8; n <= budget; n += budget / 8) {
+      const sca::CpaResult r = sca::cpa_attack(traces.prefix(n));
+      t.row({std::to_string(n), std::to_string(r.key_rank(secret_key)),
+             std::to_string(r.best_guess),
+             util::Table::num(r.peak_correlation[secret_key], 4),
+             util::Table::num(r.margin(secret_key), 4)});
+    }
+    t.print();
+
+    const sca::CpaResult final_r = sca::cpa_attack(traces);
+    if (final_r.key_rank(secret_key) == 0) {
+      std::printf(">>> %s: KEY DISCLOSED (0x%02x)\n\n", lib.name().c_str(),
+                  final_r.best_guess);
+    } else {
+      std::printf(">>> %s: key not distinguishable (rank %d of 256)\n\n",
+                  lib.name().c_str(), final_r.key_rank(secret_key));
+    }
+  }
+  return 0;
+}

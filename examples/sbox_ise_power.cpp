@@ -1,0 +1,50 @@
+// Battery-budget workflow: the paper's motivating scenario.  A smart-card
+// class device runs AES occasionally; how much does the DPA-protected S-box
+// unit cost in average power as a function of how often crypto runs?
+//
+// Sweeps the crypto duty cycle (via idle cycles between encryptions) and
+// prints the Table 3 power columns per operating point -- showing where
+// conventional MCML is prohibitive and PG-MCML matches the CMOS budget.
+//
+// Usage: ./build/examples/sbox_ise_power
+#include <cstdio>
+
+#include "pgmcml/core/ise_experiment.hpp"
+#include "pgmcml/or1k/aes_program.hpp"
+#include "pgmcml/util/table.hpp"
+
+int main() {
+  using namespace pgmcml;
+
+  // CPU-side view first: what does one AES cost on the processor?
+  const auto one = or1k::run_aes_program({}, {}, {true, 1, 0});
+  std::printf("One AES-128 block on the OpenRISC-style core: %llu cycles, "
+              "%zu l.sbox executions\n\n",
+              static_cast<unsigned long long>(one.cycles),
+              one.ise_executions);
+
+  util::Table t("Average S-box-unit power vs crypto duty cycle (400 MHz)");
+  t.header({"idle cycles/block", "ISE duty", "CMOS", "MCML", "PG-MCML",
+            "MCML/PG ratio"});
+  for (int spin : {0, 2'000, 20'000, 200'000, 2'000'000}) {
+    core::IseExperimentOptions opt;
+    opt.blocks = 2;
+    opt.idle_spin = spin;
+    const auto rows = core::run_ise_experiment(opt);
+    char duty[32];
+    std::snprintf(duty, sizeof(duty), "%.4f%%", rows[0].duty * 100);
+    t.row({std::to_string(spin), duty,
+           util::Table::eng(rows[0].avg_power, "W"),
+           util::Table::eng(rows[1].avg_power, "W"),
+           util::Table::eng(rows[2].avg_power, "W"),
+           util::Table::num(rows[1].avg_power / rows[2].avg_power, 0) + "x"});
+  }
+  t.print();
+
+  std::printf(
+      "\nReading: MCML burns the same regardless of duty (its static current "
+      "never stops);\nPG-MCML tracks the duty cycle and approaches the "
+      "CMOS budget as crypto idles -- the\npaper's enabling result for "
+      "battery-operated DPA-resistant devices.\n");
+  return 0;
+}

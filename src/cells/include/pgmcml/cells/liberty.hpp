@@ -1,0 +1,27 @@
+// Liberty (.lib) export of a cell library.
+//
+// The paper's point about MCML adoption is EDA-tool support: the library
+// must look like any other standard-cell library to synthesis.  This
+// exporter writes a (simplified, but syntactically conventional) Liberty
+// description: per-cell area, function, pin directions and capacitances,
+// fixed propagation delays, leakage power, and -- for the PG library -- the
+// sleep pin as a switch-function power-gating attribute.
+#pragma once
+
+#include <string>
+
+#include "pgmcml/cells/library.hpp"
+
+namespace pgmcml::cells {
+
+/// Renders the library as Liberty text.
+std::string to_liberty(const CellLibrary& library);
+
+/// Boolean function of a cell in Liberty syntax over its canonical pin
+/// names (A, B, C, D / S0, S1 / D, CK, RN, EN), e.g. "(A&B)" or "(A^B^C)".
+std::string liberty_function(mcml::CellKind kind);
+
+/// Canonical input pin names of a cell, in the Instance::inputs order.
+std::vector<std::string> pin_names(mcml::CellKind kind);
+
+}  // namespace pgmcml::cells

@@ -1,0 +1,82 @@
+// Liberty-style view of the three standard-cell libraries the paper
+// compares: the reference static CMOS 90 nm library, conventional MCML, and
+// PG-MCML.  All three share the same 16 logical functions (so one mapped
+// netlist can be costed in any style); what differs is area, delay, and --
+// crucially -- the power model:
+//
+//   CMOS:     energy per output toggle + small leakage, no static current.
+//   MCML:     constant static current (stages x Iss) whether or not the cell
+//             switches; switching only redistributes the current.
+//   PG-MCML:  MCML current while awake, subthreshold leakage while asleep.
+//
+// Electrical numbers come from the transistor-level characterization in
+// pgmcml_mcml (see calibrated()/characterized()); layout numbers from the
+// AreaModel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pgmcml/mcml/cells.hpp"
+#include "pgmcml/mcml/design.hpp"
+
+namespace pgmcml::cells {
+
+enum class LogicStyle { kCmos, kMcml, kPgMcml };
+
+std::string to_string(LogicStyle style);
+
+struct StdCell {
+  mcml::CellKind kind{};
+  std::string name;            ///< e.g. "AND2X1"
+  double area = 0.0;           ///< [m^2]
+  double delay = 0.0;          ///< propagation delay at FO1 [s]
+  double input_cap = 0.0;      ///< per input pin [F]
+  double switch_energy = 0.0;  ///< CMOS energy per output toggle [J]
+  double static_current = 0.0; ///< quiescent supply current while active [A]
+  double sleep_current = 0.0;  ///< gated-off supply current [A] (PG only)
+  double leakage_power = 0.0;  ///< static leakage [W] (CMOS subthreshold)
+  int stages = 0;              ///< CML stages (tails) in the cell
+  int transistors = 0;
+};
+
+class CellLibrary {
+ public:
+  /// Reference commercial-style 90 nm static CMOS library.
+  static CellLibrary cmos90();
+  /// Conventional MCML, calibrated constants (fast, no SPICE run).
+  static CellLibrary mcml90();
+  /// PG-MCML, calibrated constants (fast, no SPICE run).
+  static CellLibrary pgmcml90();
+  /// MCML/PG-MCML with every cell characterized through the transistor-level
+  /// engine at the given design point (slower; used by the library bench).
+  static CellLibrary characterized(LogicStyle style,
+                                   const mcml::McmlDesign& design);
+
+  LogicStyle style() const { return style_; }
+  const std::string& name() const { return name_; }
+
+  const StdCell& cell(mcml::CellKind kind) const;
+  const std::vector<StdCell>& cells() const { return cells_; }
+
+  /// True when cells consume current even while idle (MCML styles).
+  bool has_static_current() const { return style_ != LogicStyle::kCmos; }
+  /// True when cells support a sleep input.
+  bool power_gated() const { return style_ == LogicStyle::kPgMcml; }
+  /// Supply voltage assumed by the power numbers.
+  double vdd() const { return vdd_; }
+  /// In differential logic complementation is free; CMOS pays an inverter.
+  bool free_inversion() const { return style_ != LogicStyle::kCmos; }
+  /// Area of the inverter used when inversion is not free.
+  double inverter_area() const;
+
+ private:
+  CellLibrary(LogicStyle style, std::string name, double vdd);
+
+  LogicStyle style_;
+  std::string name_;
+  double vdd_;
+  std::vector<StdCell> cells_;
+};
+
+}  // namespace pgmcml::cells

@@ -1,0 +1,64 @@
+// End-to-end DPA evaluation flow (Section 6 / Fig. 6 of the paper):
+//
+//   synthesize the reduced AES (AddRoundKey + S-box) for a logic style
+//   -> simulate it for a stream of plaintexts under a fixed secret key
+//   -> compose the supply-current trace of every run (1 ps-class grid)
+//   -> mount CPA with the Hamming-weight-of-S-box-output model
+//   -> report key rank, distinguishability margin, and traces-to-disclosure.
+//
+// The expected outcome, as in the paper: CMOS discloses the key, MCML and
+// PG-MCML do not, and the sleep machinery does not weaken PG-MCML.
+#pragma once
+
+#include <cstdint>
+
+#include "pgmcml/cells/library.hpp"
+#include "pgmcml/netlist/design.hpp"
+#include "pgmcml/power/tracer.hpp"
+#include "pgmcml/sca/attack.hpp"
+#include "pgmcml/sca/traces.hpp"
+
+namespace pgmcml::core {
+
+struct DpaFlowOptions {
+  std::size_t num_traces = 2000;
+  std::uint8_t key = 0x2b;
+  std::uint64_t seed = 7;
+  /// Trace grid: 2 ps steps covering the evaluation window after the
+  /// plaintext edge (paper: 1 ps / 1 uA resolution; 2 ps keeps the 256x256
+  /// full sweep tractable while oversampling every kernel).
+  double dt = 2e-12;
+  std::size_t samples = 900;
+  double noise_sigma = 2e-6;
+  /// PG-MCML: wrap each operation in a wake/sleep window (the sleep signal
+  /// toggling with the data is part of what Fig. 6 shows is harmless).
+  bool gate_per_operation = true;
+  bool keep_time_curves = false;
+  bool compute_mtd = false;
+  /// When >= 0, every acquisition uses this fixed plaintext byte (for the
+  /// TVLA fixed class); -1 = random plaintexts.
+  int fixed_plaintext = -1;
+  /// Use SPICE-extracted current kernels instead of the analytic defaults.
+  bool spice_kernels = false;
+};
+
+struct DpaFlowResult {
+  sca::TraceSet traces;
+  sca::CpaResult cpa;
+  sca::DpaResult dpa;
+  int key_rank = -1;       ///< 0 = key disclosed
+  double margin = 0.0;     ///< true-key peak minus best wrong guess
+  std::size_t mtd = 0;     ///< measurements to disclosure (0 = never)
+  netlist::Design::Stats stats;
+  double mean_current = 0.0;  ///< average supply current over all traces [A]
+};
+
+/// Acquires traces of the reduced AES target and mounts the attacks.
+DpaFlowResult run_dpa_flow(const cells::CellLibrary& library,
+                           const DpaFlowOptions& options = {});
+
+/// Acquisition only (for benches that do their own analysis).
+sca::TraceSet acquire_reduced_aes_traces(const cells::CellLibrary& library,
+                                         const DpaFlowOptions& options = {});
+
+}  // namespace pgmcml::core

@@ -1,0 +1,36 @@
+// Hardware builders for the paper's two evaluation circuits:
+//
+//  * The S-box ISE functional unit (Section 6): four parallel AES S-boxes
+//    covering the 32-bit processor word, with input/output registers --
+//    the custom-instruction datapath that sits in the OpenRISC pipeline.
+//  * The reduced AES security target: AddRoundKey + one S-box
+//    (out = sbox(plaintext ^ key)), the circuit attacked in Fig. 6.
+//
+// Both are emitted as Module IR and technology-mapped onto any of the three
+// libraries, mirroring the paper's synthesize-per-style methodology.
+#pragma once
+
+#include "pgmcml/cells/library.hpp"
+#include "pgmcml/netlist/design.hpp"
+#include "pgmcml/synth/map.hpp"
+#include "pgmcml/synth/module.hpp"
+
+namespace pgmcml::core {
+
+/// Builds the 32-bit S-box ISE datapath IR.
+/// `registered` adds input and output register stages (as a pipeline
+/// functional unit would have).
+synth::Module build_sbox_ise_module(bool registered = true);
+
+/// Builds the reduced AES target IR: 8-bit plaintext input, 8-bit key input,
+/// output = sbox(p ^ k).
+synth::Module build_reduced_aes_module();
+
+/// Maps the S-box ISE for a given library (paper Table 3 row).
+synth::MapResult map_sbox_ise(const cells::CellLibrary& library,
+                              bool registered = true);
+
+/// Maps the reduced AES target for a given library (Fig. 6 DUT).
+synth::MapResult map_reduced_aes(const cells::CellLibrary& library);
+
+}  // namespace pgmcml::core

@@ -1,0 +1,55 @@
+#include "pgmcml/core/sbox_unit.hpp"
+
+#include "pgmcml/aes/aes.hpp"
+#include "pgmcml/synth/lut.hpp"
+
+namespace pgmcml::core {
+
+using synth::Lit;
+using synth::Module;
+
+Module build_sbox_ise_module(bool registered) {
+  Module m("sbox_ise");
+  const std::vector<std::uint8_t> table(aes::sbox().begin(), aes::sbox().end());
+  std::vector<Lit> word_in;
+  for (int lane = 0; lane < 4; ++lane) {
+    const auto bus = m.input_bus("in" + std::to_string(lane), 8);
+    word_in.insert(word_in.end(), bus.begin(), bus.end());
+  }
+  for (int lane = 0; lane < 4; ++lane) {
+    std::vector<Lit> lane_in(word_in.begin() + 8 * lane,
+                             word_in.begin() + 8 * (lane + 1));
+    if (registered) {
+      for (Lit& bit : lane_in) bit = m.dff(bit);
+    }
+    std::vector<Lit> lane_out = synth::synthesize_lut8(m, lane_in, table);
+    if (registered) {
+      for (Lit& bit : lane_out) bit = m.dff(bit);
+    }
+    m.output_bus("out" + std::to_string(lane), lane_out);
+  }
+  return m;
+}
+
+Module build_reduced_aes_module() {
+  Module m("reduced_aes");
+  const auto p = m.input_bus("p", 8);
+  const auto k = m.input_bus("k", 8);
+  const auto x = synth::bus_xor(m, p, k);
+  const std::vector<std::uint8_t> table(aes::sbox().begin(), aes::sbox().end());
+  m.output_bus("s", synth::synthesize_lut8(m, x, table));
+  return m;
+}
+
+synth::MapResult map_sbox_ise(const cells::CellLibrary& library,
+                              bool registered) {
+  const Module m = build_sbox_ise_module(registered);
+  return synth::map_module(m, library);
+}
+
+synth::MapResult map_reduced_aes(const cells::CellLibrary& library) {
+  const Module m = build_reduced_aes_module();
+  return synth::map_module(m, library);
+}
+
+}  // namespace pgmcml::core

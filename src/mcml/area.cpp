@@ -1,0 +1,29 @@
+#include "pgmcml/mcml/area.hpp"
+
+#include <cmath>
+
+namespace pgmcml::mcml {
+
+double AreaModel::mcml_area(CellKind kind) const {
+  return cell_info(kind).pitch_count * mcml_pitch() * cell_height();
+}
+
+double AreaModel::pg_area(CellKind kind) const {
+  return cell_info(kind).pitch_count * pg_pitch() * cell_height();
+}
+
+std::optional<double> AreaModel::cmos_area(CellKind kind) const {
+  const CellInfo& info = cell_info(kind);
+  if (!info.cmos_area_ratio.has_value()) return std::nullopt;
+  return pg_area(kind) / *info.cmos_area_ratio;
+}
+
+int AreaModel::estimate_pitches(CellKind kind, bool power_gated) const {
+  // Empirically the library's cells place ~1.8 transistors per pitch, with
+  // wiring-heavy cells (the full adder) closer to 1.6.  This is only a
+  // sanity check against the committed layout data.
+  const int t = transistor_count(kind, power_gated);
+  return static_cast<int>(std::lround(t * 0.58));
+}
+
+}  // namespace pgmcml::mcml

@@ -1,0 +1,411 @@
+#include "pgmcml/mcml/builder.hpp"
+
+#include <stdexcept>
+
+namespace pgmcml::mcml {
+
+using spice::MosParams;
+using spice::NodeId;
+
+McmlCellBuilder::McmlCellBuilder(spice::Circuit& circuit,
+                                 const McmlDesign& design, McmlRails rails,
+                                 std::string prefix)
+    : ckt_(circuit), design_(design), rails_(rails), prefix_(std::move(prefix)) {
+  if (rails_.vdd < 0 || rails_.vp < 0 || rails_.vn < 0) {
+    throw std::invalid_argument("McmlCellBuilder: rails not connected");
+  }
+  if (design_.power_gated() && rails_.sleep_on < 0) {
+    throw std::invalid_argument(
+        "McmlCellBuilder: power-gated design needs a sleep_on rail");
+  }
+}
+
+DiffNet McmlCellBuilder::make_diff(const std::string& name) {
+  return {ckt_.node(prefix_ + name + "_p"), ckt_.node(prefix_ + name + "_n")};
+}
+
+std::string McmlCellBuilder::stage_name(const std::string& kind) {
+  return prefix_ + kind + std::to_string(stage_counter_++);
+}
+
+void McmlCellBuilder::add_mos(const std::string& name, NodeId d, NodeId g,
+                              NodeId s, NodeId b, const MosParams& p) {
+  const MosParams actual =
+      design_.mismatch_rng != nullptr
+          ? design_.tech.with_mismatch(p, *design_.mismatch_rng)
+          : p;
+  ckt_.add_mosfet(name, d, g, s, b, actual);
+  ++mosfet_counter_;
+  if (design_.include_parasitics) {
+    ckt_.add_capacitor(name + ".cgs", g, s, actual.cgs());
+    ckt_.add_capacitor(name + ".cgd", g, d, actual.cgd());
+    ckt_.add_capacitor(name + ".cdb", d, ckt_.gnd(), actual.cdb());
+  }
+}
+
+void McmlCellBuilder::add_loads(const std::string& stage, DiffNet out) {
+  const MosParams load =
+      design_.tech.pmos(design_.load_vt, design_.eff_w_load());
+  add_mos(stage + ".MLP", out.p, rails_.vp, rails_.vdd, rails_.vdd, load);
+  add_mos(stage + ".MLN", out.n, rails_.vp, rails_.vdd, rails_.vdd, load);
+}
+
+NodeId McmlCellBuilder::tail_network(const std::string& stage) {
+  const MosParams tail =
+      design_.tech.nmos(design_.network_vt, design_.eff_w_tail(), design_.l_tail);
+  const NodeId gnd = ckt_.gnd();
+
+  switch (design_.gating) {
+    case GatingTopology::kNone: {
+      // Plain current source: common node is the tail drain.
+      const NodeId cs = ckt_.internal_node(stage + ".cs");
+      add_mos(stage + ".MT", cs, rails_.vn, gnd, gnd, tail);
+      return cs;
+    }
+    case GatingTopology::kSeriesSleep: {
+      // (d) Sleep transistor on top of the current source.  During power
+      // down its gate is at 0 while the source node below holds a residual
+      // positive voltage -> negative VGS, cutting leakage hard.
+      const MosParams sleep =
+          design_.tech.nmos(design_.network_vt, design_.w_sleep() * design_.drive);
+      const NodeId cs = ckt_.internal_node(stage + ".cs");
+      const NodeId mid = ckt_.internal_node(stage + ".slp");
+      add_mos(stage + ".MSLP", cs, rails_.sleep_on, mid, gnd, sleep);
+      add_mos(stage + ".MT", mid, rails_.vn, gnd, gnd, tail);
+      return cs;
+    }
+    case GatingTopology::kVnPullDown: {
+      // (a) The cell's local bias node hangs off the global Vn through a
+      // finite source impedance (the source-follower the paper says would
+      // be needed); a pull-down shorts the local node to ground in sleep.
+      const NodeId vn_loc = ckt_.internal_node(stage + ".vnl");
+      ckt_.add_resistor(stage + ".RVN", rails_.vn, vn_loc, 50e3);
+      ckt_.add_capacitor(stage + ".CVN", vn_loc, gnd, 5e-15);
+      const MosParams pd = design_.tech.nmos(design_.network_vt, 0.5e-6);
+      add_mos(stage + ".MPD", vn_loc, rails_.sleep_off, gnd, gnd, pd);
+      const NodeId cs = ckt_.internal_node(stage + ".cs");
+      MosParams t2 = tail;
+      add_mos(stage + ".MT", cs, vn_loc, gnd, gnd, t2);
+      return cs;
+    }
+    case GatingTopology::kVnSwitch: {
+      // (b) Pass transistor gating Vn plus the pull-down: two devices.
+      const NodeId vn_loc = ckt_.internal_node(stage + ".vnl");
+      const MosParams pass = design_.tech.nmos(design_.network_vt, 1.0e-6);
+      add_mos(stage + ".MPS", rails_.vn, rails_.sleep_on, vn_loc, gnd, pass);
+      ckt_.add_capacitor(stage + ".CVN", vn_loc, gnd, 5e-15);
+      const MosParams pd = design_.tech.nmos(design_.network_vt, 0.5e-6);
+      add_mos(stage + ".MPD", vn_loc, rails_.sleep_off, gnd, gnd, pd);
+      const NodeId cs = ckt_.internal_node(stage + ".cs");
+      add_mos(stage + ".MT", cs, vn_loc, gnd, gnd, tail);
+      return cs;
+    }
+    case GatingTopology::kBodyBias: {
+      // (c) ON signal drives the tail gate directly; the bulk is tied to
+      // Vn and modulates the current through the body effect.  The tail is
+      // long and narrow so the full-swing gate still means ~Iss.  Note the
+      // separate-well / bias-range problems the paper cites.
+      const MosParams t2 = design_.tech.nmos(design_.network_vt,
+                                             0.60e-6 * design_.drive, 1.0e-6);
+      const NodeId cs = ckt_.internal_node(stage + ".cs");
+      add_mos(stage + ".MT", cs, rails_.sleep_on, gnd, rails_.vn, t2);
+      return cs;
+    }
+  }
+  throw std::logic_error("unreachable gating topology");
+}
+
+DiffNet McmlCellBuilder::buffer_stage(DiffNet in) {
+  const std::string st = stage_name("buf");
+  DiffNet out = make_diff(st + ".q");
+  add_loads(st, out);
+  const NodeId cs = tail_network(st);
+  const MosParams pair =
+      design_.tech.nmos(design_.network_vt, design_.eff_w_pair());
+  const NodeId gnd = ckt_.gnd();
+  // High input steers the current into the complementary output's load.
+  add_mos(st + ".M1", out.n, in.p, cs, gnd, pair);
+  add_mos(st + ".M2", out.p, in.n, cs, gnd, pair);
+  return out;
+}
+
+DiffNet McmlCellBuilder::and2_stage(DiffNet a, DiffNet b) {
+  const std::string st = stage_name("and");
+  DiffNet out = make_diff(st + ".q");
+  add_loads(st, out);
+  const NodeId cs = tail_network(st);
+  const MosParams pair =
+      design_.tech.nmos(design_.network_vt, design_.eff_w_pair());
+  const NodeId gnd = ckt_.gnd();
+  // Level 1 (bottom): pair driven by a.  The a-true branch feeds the upper
+  // pair; the a-false branch pulls q low directly.
+  const NodeId s2 = ckt_.internal_node(st + ".s2");
+  add_mos(st + ".MA", s2, a.p, cs, gnd, pair);
+  add_mos(st + ".MAB", out.p, a.n, cs, gnd, pair);
+  // Level 2 (top): pair driven by b steering between q-low and qb-low.
+  add_mos(st + ".MB", out.n, b.p, s2, gnd, pair);
+  add_mos(st + ".MBB", out.p, b.n, s2, gnd, pair);
+  return out;
+}
+
+DiffNet McmlCellBuilder::or2_stage(DiffNet a, DiffNet b) {
+  // De Morgan on the differential pair: a + b = ~(~a & ~b).
+  return invert(and2_stage(invert(a), invert(b)));
+}
+
+DiffNet McmlCellBuilder::xor2_stage(DiffNet a, DiffNet b) {
+  const std::string st = stage_name("xor");
+  DiffNet out = make_diff(st + ".q");
+  add_loads(st, out);
+  const NodeId cs = tail_network(st);
+  const MosParams pair =
+      design_.tech.nmos(design_.network_vt, design_.eff_w_pair());
+  const NodeId gnd = ckt_.gnd();
+  // Bottom pair driven by b selects one of two cross-wired a pairs.
+  const NodeId s1 = ckt_.internal_node(st + ".s1");  // active when b = 1
+  const NodeId s0 = ckt_.internal_node(st + ".s0");  // active when b = 0
+  add_mos(st + ".MB", s1, b.p, cs, gnd, pair);
+  add_mos(st + ".MBB", s0, b.n, cs, gnd, pair);
+  // b = 1: q = ~a.
+  add_mos(st + ".M1A", out.p, a.p, s1, gnd, pair);
+  add_mos(st + ".M1AB", out.n, a.n, s1, gnd, pair);
+  // b = 0: q = a.
+  add_mos(st + ".M0A", out.n, a.p, s0, gnd, pair);
+  add_mos(st + ".M0AB", out.p, a.n, s0, gnd, pair);
+  return out;
+}
+
+DiffNet McmlCellBuilder::mux2_stage(DiffNet sel, DiffNet in0, DiffNet in1) {
+  const std::string st = stage_name("mux");
+  DiffNet out = make_diff(st + ".q");
+  add_loads(st, out);
+  const NodeId cs = tail_network(st);
+  const MosParams pair =
+      design_.tech.nmos(design_.network_vt, design_.eff_w_pair());
+  const NodeId gnd = ckt_.gnd();
+  const NodeId s1 = ckt_.internal_node(st + ".s1");
+  const NodeId s0 = ckt_.internal_node(st + ".s0");
+  add_mos(st + ".MS", s1, sel.p, cs, gnd, pair);
+  add_mos(st + ".MSB", s0, sel.n, cs, gnd, pair);
+  add_mos(st + ".M1", out.n, in1.p, s1, gnd, pair);
+  add_mos(st + ".M1B", out.p, in1.n, s1, gnd, pair);
+  add_mos(st + ".M0", out.n, in0.p, s0, gnd, pair);
+  add_mos(st + ".M0B", out.p, in0.n, s0, gnd, pair);
+  return out;
+}
+
+DiffNet McmlCellBuilder::latch_stage(DiffNet d, DiffNet clk) {
+  const std::string st = stage_name("lat");
+  DiffNet out = make_diff(st + ".q");
+  add_loads(st, out);
+  const NodeId cs = tail_network(st);
+  const MosParams pair =
+      design_.tech.nmos(design_.network_vt, design_.eff_w_pair());
+  const NodeId gnd = ckt_.gnd();
+  const NodeId s_track = ckt_.internal_node(st + ".st");
+  const NodeId s_hold = ckt_.internal_node(st + ".sh");
+  add_mos(st + ".MC", s_track, clk.p, cs, gnd, pair);
+  add_mos(st + ".MCB", s_hold, clk.n, cs, gnd, pair);
+  // Track: output follows d.
+  add_mos(st + ".MD", out.n, d.p, s_track, gnd, pair);
+  add_mos(st + ".MDB", out.p, d.n, s_track, gnd, pair);
+  // Hold: cross-coupled regeneration.
+  add_mos(st + ".MH", out.n, out.p, s_hold, gnd, pair);
+  add_mos(st + ".MHB", out.p, out.n, s_hold, gnd, pair);
+  return out;
+}
+
+spice::NodeId McmlCellBuilder::d2s_stage(DiffNet in) {
+  // Five-transistor differential amplifier with a PMOS mirror load, followed
+  // by a CMOS inverter to restore full-rail levels.
+  const std::string st = stage_name("d2s");
+  const NodeId cs = tail_network(st);
+  const NodeId gnd = ckt_.gnd();
+  const MosParams pair =
+      design_.tech.nmos(design_.network_vt, design_.eff_w_pair() * 2.0);
+  const MosParams mirror = design_.tech.pmos(design_.load_vt, 1.0e-6);
+  const NodeId mid = ckt_.internal_node(st + ".mid");
+  const NodeId amp = ckt_.internal_node(st + ".amp");
+  add_mos(st + ".MIP", mid, in.n, cs, gnd, pair);
+  add_mos(st + ".MIN", amp, in.p, cs, gnd, pair);
+  add_mos(st + ".MM1", mid, mid, rails_.vdd, rails_.vdd, mirror);
+  add_mos(st + ".MM2", amp, mid, rails_.vdd, rails_.vdd, mirror);
+  // Output inverter (low-Vt CMOS).
+  const NodeId out = ckt_.node(prefix_ + st + ".out");
+  add_mos(st + ".MNI", out, amp, gnd, gnd,
+          design_.tech.nmos(spice::VtFlavor::kLowVt, 0.6e-6));
+  add_mos(st + ".MPI", out, amp, rails_.vdd, rails_.vdd,
+          design_.tech.pmos(spice::VtFlavor::kLowVt, 1.2e-6));
+  return out;
+}
+
+CellPorts McmlCellBuilder::emit_cell(CellKind kind,
+                                     const std::vector<DiffNet>& data,
+                                     DiffNet clk, DiffNet ctrl) {
+  auto need = [&](std::size_t n) {
+    if (data.size() != n) {
+      throw std::invalid_argument("emit_cell(" + to_string(kind) + "): needs " +
+                                  std::to_string(n) + " data inputs");
+    }
+  };
+  auto need_clk = [&] {
+    if (!clk.valid()) {
+      throw std::invalid_argument("emit_cell(" + to_string(kind) +
+                                  "): needs a clock");
+    }
+  };
+  CellPorts ports;
+  switch (kind) {
+    case CellKind::kBuf: {
+      need(1);
+      ports.outputs = {buffer_stage(data[0])};
+      break;
+    }
+    case CellKind::kDiff2Single: {
+      need(1);
+      const NodeId se = d2s_stage(data[0]);
+      // Report the CMOS node as a pseudo-differential pair (n unused).
+      ports.outputs = {DiffNet{se, -1}};
+      break;
+    }
+    case CellKind::kAnd2: {
+      need(2);
+      ports.outputs = {and2_stage(data[0], data[1])};
+      break;
+    }
+    case CellKind::kAnd3: {
+      need(3);
+      ports.outputs = {and2_stage(and2_stage(data[0], data[1]), data[2])};
+      break;
+    }
+    case CellKind::kAnd4: {
+      need(4);
+      // Chained (not tree) realization: matches the paper's Table 2 delay
+      // scaling (AND4 ~ 2.4x the AND2 delay).
+      const DiffNet ab = and2_stage(data[0], data[1]);
+      const DiffNet abc = and2_stage(ab, data[2]);
+      ports.outputs = {and2_stage(abc, data[3])};
+      break;
+    }
+    case CellKind::kMux2: {
+      need(3);  // {sel, in0, in1}
+      ports.outputs = {mux2_stage(data[0], data[1], data[2])};
+      break;
+    }
+    case CellKind::kMux4: {
+      need(6);  // {sel0, sel1, in0, in1, in2, in3}
+      const DiffNet lo = mux2_stage(data[0], data[2], data[3]);
+      const DiffNet hi = mux2_stage(data[0], data[4], data[5]);
+      ports.outputs = {mux2_stage(data[1], lo, hi)};
+      break;
+    }
+    case CellKind::kMaj3: {
+      need(3);  // maj(a,b,c) = b ? (a|c) : (a&c)
+      const DiffNet andac = and2_stage(data[0], data[2]);
+      const DiffNet orac = or2_stage(data[0], data[2]);
+      ports.outputs = {mux2_stage(data[1], andac, orac)};
+      break;
+    }
+    case CellKind::kXor2: {
+      need(2);
+      ports.outputs = {xor2_stage(data[0], data[1])};
+      break;
+    }
+    case CellKind::kXor3: {
+      need(3);
+      ports.outputs = {xor2_stage(xor2_stage(data[0], data[1]), data[2])};
+      break;
+    }
+    case CellKind::kXor4: {
+      need(4);
+      // Chained, like AND4 (Table 2: XOR4 ~ 2.5x the XOR2 delay).
+      const DiffNet ab = xor2_stage(data[0], data[1]);
+      const DiffNet abc = xor2_stage(ab, data[2]);
+      ports.outputs = {xor2_stage(abc, data[3])};
+      break;
+    }
+    case CellKind::kDLatch: {
+      need(1);
+      need_clk();
+      ports.outputs = {latch_stage(data[0], clk)};
+      break;
+    }
+    case CellKind::kDff: {
+      need(1);
+      need_clk();
+      // Master transparent while clk low, slave while clk high:
+      // rising-edge triggered flip-flop.
+      const DiffNet master = latch_stage(data[0], invert(clk));
+      ports.outputs = {latch_stage(master, clk)};
+      break;
+    }
+    case CellKind::kDffR: {
+      need(1);
+      need_clk();
+      if (!ctrl.valid()) {
+        throw std::invalid_argument("DFFR needs a reset input");
+      }
+      // Synchronous reset: d' = d & ~reset in front of the flop.
+      const DiffNet gated = and2_stage(data[0], invert(ctrl));
+      const DiffNet master = latch_stage(gated, invert(clk));
+      ports.outputs = {latch_stage(master, clk)};
+      break;
+    }
+    case CellKind::kEDff: {
+      need(1);
+      need_clk();
+      if (!ctrl.valid()) {
+        throw std::invalid_argument("EDFF needs an enable input");
+      }
+      // d' = en ? d : q (recirculating enable flop).
+      DiffNet q = make_diff("edff_q");
+      const DiffNet sel = mux2_stage(ctrl, q, data[0]);
+      const DiffNet master = latch_stage(sel, invert(clk));
+      const DiffNet slave = latch_stage(master, clk);
+      // Tie the feedback: the mux's q input IS the slave output.  We created
+      // placeholder nodes; alias by adding zero-ohm-ish resistors.
+      ckt_.add_resistor(prefix_ + "edff_fb_p", q.p, slave.p, 1.0);
+      ckt_.add_resistor(prefix_ + "edff_fb_n", q.n, slave.n, 1.0);
+      ports.outputs = {slave};
+      break;
+    }
+    case CellKind::kFullAdder: {
+      need(3);  // {a, b, cin}
+      const DiffNet p = xor2_stage(data[0], data[1]);
+      const DiffNet sum = xor2_stage(p, data[2]);
+      const DiffNet g = and2_stage(data[0], data[1]);
+      // cout = p ? cin : g.
+      const DiffNet cout = mux2_stage(p, g, data[2]);
+      ports.outputs = {sum, cout};
+      break;
+    }
+  }
+  return ports;
+}
+
+int transistor_count(CellKind kind, bool power_gated) {
+  spice::Circuit scratch;
+  McmlDesign d;
+  d.include_parasitics = false;
+  d.gating = power_gated ? GatingTopology::kSeriesSleep : GatingTopology::kNone;
+  McmlRails rails;
+  rails.vdd = scratch.node("vdd");
+  rails.vp = scratch.node("vp");
+  rails.vn = scratch.node("vn");
+  rails.sleep_on = scratch.node("slp");
+  rails.sleep_off = scratch.node("slpb");
+  McmlCellBuilder b(scratch, d, rails, "x.");
+  const CellInfo& info = cell_info(kind);
+  std::vector<DiffNet> data;
+  for (int i = 0; i < info.num_inputs; ++i) {
+    data.push_back(b.make_diff("in" + std::to_string(i)));
+  }
+  DiffNet clk;
+  DiffNet ctrl;
+  if (info.num_clocks > 0) clk = b.make_diff("clk");
+  if (info.num_controls > 0) ctrl = b.make_diff("ctl");
+  b.emit_cell(kind, data, clk, ctrl);
+  return b.mosfets_emitted();
+}
+
+}  // namespace pgmcml::mcml

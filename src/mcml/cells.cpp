@@ -1,0 +1,84 @@
+#include "pgmcml/mcml/cells.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "pgmcml/util/units.hpp"
+
+namespace pgmcml::mcml {
+namespace {
+
+using util::ps;
+using util::um2;
+
+/// Library metadata, Table 2 order.  pitch_count is the layout width of the
+/// cell in horizontal pitches; every paper area is pitch_count x pitch_area
+/// (see area.hpp).  paper_delay / paper_pg_area are the published reference
+/// values used in EXPERIMENTS.md comparisons.
+const std::vector<CellInfo>& table() {
+  static const std::vector<CellInfo> kCells = {
+      // kind, name, in, clk, ctl, stages, pitches, seq, ratio, delay, area
+      {CellKind::kBuf, "BUF", 1, 0, 0, 1, 5, false, 2.4, 23.97 * ps,
+       7.448 * um2},
+      {CellKind::kDiff2Single, "DIFF2SINGLE", 1, 0, 0, 1, 6, false,
+       std::nullopt, 80.41 * ps, 8.9376 * um2},
+      {CellKind::kAnd2, "AND2", 2, 0, 0, 1, 6, false, 1.9, 41.34 * ps,
+       8.9376 * um2},
+      {CellKind::kAnd3, "AND3", 3, 0, 0, 2, 9, false, 2.1, 68.74 * ps,
+       13.4064 * um2},
+      {CellKind::kAnd4, "AND4", 4, 0, 0, 3, 12, false, 2.8, 99.96 * ps,
+       17.8752 * um2},
+      {CellKind::kMux2, "MUX2", 3, 0, 0, 1, 6, false, 1.2, 43.58 * ps,
+       8.9376 * um2},
+      {CellKind::kMux4, "MUX4", 6, 0, 0, 3, 14, false, 1.2, 87.11 * ps,
+       20.8544 * um2},
+      {CellKind::kMaj3, "MAJ32", 3, 0, 0, 3, 12, false, std::nullopt,
+       82.32 * ps, 17.8752 * um2},
+      {CellKind::kXor2, "XOR2", 2, 0, 0, 1, 6, false, 1.1, 44.26 * ps,
+       8.9376 * um2},
+      {CellKind::kXor3, "XOR3", 3, 0, 0, 2, 12, false, 1.1, 84.37 * ps,
+       17.8752 * um2},
+      {CellKind::kXor4, "XOR4", 4, 0, 0, 3, 14, false, 1.1, 109.68 * ps,
+       20.8544 * um2},
+      {CellKind::kDLatch, "DLATCH", 1, 1, 0, 1, 6, true, 1.3, 36.32 * ps,
+       8.9376 * um2},
+      {CellKind::kDff, "DFF", 1, 1, 0, 2, 12, true, 1.3, 53.40 * ps,
+       17.8752 * um2},
+      {CellKind::kDffR, "DFFR", 1, 1, 1, 3, 18, true, 1.8, 69.33 * ps,
+       26.8128 * um2},
+      {CellKind::kEDff, "EDFF", 1, 1, 1, 3, 16, true, std::nullopt,
+       63.53 * ps, 23.8336 * um2},
+      {CellKind::kFullAdder, "FA", 3, 0, 0, 4, 24, false, 1.4, 84.49 * ps,
+       35.7504 * um2},
+  };
+  return kCells;
+}
+
+}  // namespace
+
+const std::vector<CellKind>& all_cells() {
+  static const std::vector<CellKind> kAll = [] {
+    std::vector<CellKind> v;
+    for (const CellInfo& c : table()) v.push_back(c.kind);
+    return v;
+  }();
+  return kAll;
+}
+
+const CellInfo& cell_info(CellKind kind) {
+  for (const CellInfo& c : table()) {
+    if (c.kind == kind) return c;
+  }
+  throw std::invalid_argument("cell_info: unknown cell kind");
+}
+
+const CellInfo* find_cell(const std::string& name) {
+  for (const CellInfo& c : table()) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::string to_string(CellKind kind) { return cell_info(kind).name; }
+
+}  // namespace pgmcml::mcml

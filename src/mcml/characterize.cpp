@@ -1,0 +1,344 @@
+#include "pgmcml/mcml/characterize.hpp"
+
+#include "pgmcml/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pgmcml/mcml/area.hpp"
+#include "pgmcml/mcml/bias.hpp"
+#include "pgmcml/util/units.hpp"
+
+namespace pgmcml::mcml {
+
+using spice::NodeId;
+using spice::SourceSpec;
+using util::ns;
+using util::ps;
+
+namespace {
+
+/// Per-cell stimulus plan: which input toggles and how the others are held
+/// so the toggling input is sensitized to the measured output.
+struct StimPlan {
+  int toggle = 0;                ///< index into the data-input list
+  std::vector<int> statics;      ///< values of the data inputs (toggle: don't care)
+  int ctrl_value = 0;            ///< reset = 0 / enable = 1
+  int measure_output = 0;
+  bool clk_static_high = false;  ///< latch: keep transparent
+};
+
+StimPlan stim_plan(CellKind kind) {
+  switch (kind) {
+    case CellKind::kBuf:
+    case CellKind::kDiff2Single: return {0, {0}, 0, 0, false};
+    case CellKind::kAnd2: return {0, {0, 1}, 0, 0, false};
+    case CellKind::kAnd3: return {0, {0, 1, 1}, 0, 0, false};
+    case CellKind::kAnd4: return {0, {0, 1, 1, 1}, 0, 0, false};
+    case CellKind::kMux2: return {1, {0, 0, 0}, 0, 0, false};
+    case CellKind::kMux4: return {2, {0, 0, 0, 0, 0, 0}, 0, 0, false};
+    case CellKind::kMaj3: return {0, {0, 1, 0}, 0, 0, false};
+    case CellKind::kXor2: return {0, {0, 0}, 0, 0, false};
+    case CellKind::kXor3: return {0, {0, 0, 0}, 0, 0, false};
+    case CellKind::kXor4: return {0, {0, 0, 0, 0}, 0, 0, false};
+    case CellKind::kDLatch: return {0, {0}, 0, 0, true};
+    case CellKind::kDff:
+    case CellKind::kDffR: return {0, {0}, 0, 0, false};
+    case CellKind::kEDff: return {0, {0}, 1, 0, false};
+    case CellKind::kFullAdder: return {0, {0, 1, 0}, 0, 0, false};
+  }
+  return {};
+}
+
+}  // namespace
+
+McmlTestbench::McmlTestbench(CellKind kind, const McmlDesign& design,
+                             TestbenchOptions options)
+    : design_(design) {
+  build(kind, design, options);
+}
+
+void McmlTestbench::build(CellKind kind, const McmlDesign& design,
+                          const TestbenchOptions& options) {
+  const CellInfo& info = cell_info(kind);
+  const StimPlan plan = stim_plan(kind);
+  sequential_ = info.sequential && !plan.clk_static_high;
+  single_ended_out_ = (kind == CellKind::kDiff2Single);
+  t_stop_ = sequential_ ? 10 * ns : 8 * ns;
+
+  McmlRails rails;
+  rails.vdd = circuit_.node("vdd");
+  rails.vp = circuit_.node("vp");
+  rails.vn = circuit_.node("vn");
+  rails.sleep_on = circuit_.node("slp");
+  rails.sleep_off = circuit_.node("slpb");
+  const double vdd = design.tech.vdd();
+  circuit_.add_vsource("VDD", rails.vdd, circuit_.gnd(), SourceSpec::dc(vdd));
+  circuit_.add_vsource("VP", rails.vp, circuit_.gnd(), SourceSpec::dc(design.vp));
+  circuit_.add_vsource("VN", rails.vn, circuit_.gnd(), SourceSpec::dc(design.vn));
+  if (options.asleep) {
+    circuit_.add_vsource("VSLP", rails.sleep_on, circuit_.gnd(),
+                         SourceSpec::dc(0.0));
+    circuit_.add_vsource("VSLPB", rails.sleep_off, circuit_.gnd(),
+                         SourceSpec::dc(vdd));
+  } else if (options.sleep_pulse) {
+    circuit_.add_vsource(
+        "VSLP", rails.sleep_on, circuit_.gnd(),
+        SourceSpec::pulse(0.0, vdd, options.sleep_rise_time, 50 * ps, 50 * ps,
+                          1.0));
+    circuit_.add_vsource(
+        "VSLPB", rails.sleep_off, circuit_.gnd(),
+        SourceSpec::pulse(vdd, 0.0, options.sleep_rise_time, 50 * ps, 50 * ps,
+                          1.0));
+  } else {
+    circuit_.add_vsource("VSLP", rails.sleep_on, circuit_.gnd(),
+                         SourceSpec::dc(vdd));
+    circuit_.add_vsource("VSLPB", rails.sleep_off, circuit_.gnd(),
+                         SourceSpec::dc(0.0));
+  }
+
+  McmlCellBuilder builder(circuit_, design, rails, "dut.");
+
+  const double vh = design.v_high();
+  const double vl = design.v_low();
+  auto add_diff_dc = [&](const std::string& name, int value) {
+    DiffNet net = builder.make_diff(name);
+    circuit_.add_vsource("V" + name + "P", net.p, circuit_.gnd(),
+                         SourceSpec::dc(value ? vh : vl));
+    circuit_.add_vsource("V" + name + "N", net.n, circuit_.gnd(),
+                         SourceSpec::dc(value ? vl : vh));
+    return net;
+  };
+  auto add_diff_pulse = [&](const std::string& name, double delay,
+                            double width, double period) {
+    DiffNet net = builder.make_diff(name);
+    circuit_.add_vsource(
+        "V" + name + "P", net.p, circuit_.gnd(),
+        SourceSpec::pulse(vl, vh, delay, 20 * ps, 20 * ps, width, period));
+    circuit_.add_vsource(
+        "V" + name + "N", net.n, circuit_.gnd(),
+        SourceSpec::pulse(vh, vl, delay, 20 * ps, 20 * ps, width, period));
+    return net;
+  };
+
+  // Data inputs.
+  std::vector<DiffNet> data;
+  const bool freeze_toggle = options.asleep || options.sleep_pulse;
+  for (int i = 0; i < info.num_inputs; ++i) {
+    const std::string name = "in" + std::to_string(i);
+    if (i == plan.toggle && !freeze_toggle) {
+      if (sequential_) {
+        // Slow data pulse; the clock samples it.
+        data.push_back(add_diff_pulse(name, 3 * ns, 4 * ns, 0.0));
+      } else {
+        data.push_back(add_diff_pulse(name, 2 * ns, 2 * ns, 4 * ns));
+      }
+    } else if (i == plan.toggle) {
+      data.push_back(add_diff_dc(name, 1));  // frozen high for sleep tests
+    } else {
+      data.push_back(add_diff_dc(name, plan.statics[i]));
+    }
+  }
+
+  DiffNet clk;
+  if (info.num_clocks > 0) {
+    if (plan.clk_static_high || freeze_toggle) {
+      clk = add_diff_dc("clk", 1);
+    } else {
+      clk = add_diff_pulse("clk", 0.5 * ns, 0.96 * ns, 2 * ns);
+    }
+  }
+  DiffNet ctrl;
+  if (info.num_controls > 0) ctrl = add_diff_dc("ctl", plan.ctrl_value);
+
+  const CellPorts ports = builder.emit_cell(kind, data, clk, ctrl);
+  outputs_ = ports.outputs;
+  toggle_in_ = data.empty() ? DiffNet{} : data[plan.toggle];
+  stages_ = builder.stages_emitted();
+  mosfets_ = builder.mosfets_emitted();
+
+  // Fan-out loading on the measured output: `fanout` buffer-input gate
+  // capacitances per phase plus a fixed wire allowance.
+  const double cin =
+      design.tech.nmos(design.network_vt, design.eff_w_pair()).cgs();
+  const double cload = options.fanout * cin + 1e-15;
+  const DiffNet out = outputs_.at(plan.measure_output);
+  circuit_.add_capacitor("CLP", out.p, circuit_.gnd(), cload);
+  if (out.n >= 0) circuit_.add_capacitor("CLN", out.n, circuit_.gnd(), cload);
+
+  // Reference stimulus edges (50% points of the input/clock transitions).
+  if (sequential_) {
+    // Data changes at 3 ns (rise) and 7 ns (fall); the sampling clock edges
+    // are the next rising edges at 4.51 ns and 8.51 ns.
+    stimulus_edges_ = {4.5 * ns + 10 * ps, 8.5 * ns + 10 * ps};
+  } else {
+    stimulus_edges_ = {2 * ns + 10 * ps, 4 * ns + 10 * ps, 6 * ns + 10 * ps};
+  }
+}
+
+spice::TranResult McmlTestbench::run() {
+  spice::TranOptions opt;
+  opt.dt_max = 10 * ps;
+  return spice::transient(circuit_, t_stop_, opt);
+}
+
+spice::DcResult McmlTestbench::run_dc() {
+  return spice::dc_operating_point(circuit_);
+}
+
+util::Waveform McmlTestbench::supply_current(
+    const spice::TranResult& tr) const {
+  return spice::supply_current(circuit_, tr, "VDD");
+}
+
+util::Waveform McmlTestbench::diff_output(const spice::TranResult& tr,
+                                          int index) const {
+  const DiffNet out = outputs_.at(index);
+  if (out.n < 0) {
+    // Single-ended (CMOS-level) output: reference to mid-rail.
+    util::Waveform w = tr.node_waveform(out.p);
+    util::Waveform shifted;
+    for (const auto& pt : w.points()) {
+      shifted.append(pt.t, pt.v - 0.5 * design_.tech.vdd());
+    }
+    return shifted;
+  }
+  const util::Waveform p = tr.node_waveform(out.p);
+  const util::Waveform n = tr.node_waveform(out.n);
+  return p.plus(n.scaled(-1.0));
+}
+
+CellCharacterization characterize_cell(CellKind kind, const McmlDesign& design,
+                                       int fanout) {
+  CellCharacterization out;
+  out.kind = kind;
+
+  McmlDesign d = design;
+  const BiasResult bias = solve_bias(d);
+  if (!bias.ok) {
+    out.error = "bias: " + bias.error;
+    return out;
+  }
+
+  // --- awake transient: delay, swing, static current -----------------------
+  TestbenchOptions opt;
+  opt.fanout = fanout;
+  McmlTestbench bench(kind, d, opt);
+  out.transistors = bench.mosfets();
+  const spice::TranResult tr = bench.run();
+  if (!tr.ok) {
+    out.error = "transient: " + tr.error;
+    return out;
+  }
+  const util::Waveform vout = bench.diff_output(tr);
+
+  std::vector<double> delays;
+  const auto edges = bench.stimulus_edges();
+  // Skip the first combinational edge (startup transients).
+  const std::size_t first = bench.sequential() ? 0 : 1;
+  for (std::size_t i = first; i < edges.size(); ++i) {
+    const auto cross = vout.crossing(0.0, 0, edges[i]);
+    if (!cross.has_value()) continue;
+    const double dt = *cross - edges[i];
+    if (dt > 0.0 && dt < 1.8e-9) delays.push_back(dt);
+  }
+  if (delays.empty()) {
+    out.error = "no output transition found";
+    return out;
+  }
+  out.delay = util::mean(delays);
+  out.swing = 0.5 * (vout.max_value() - vout.min_value());
+
+  const util::Waveform isupply = bench.supply_current(tr);
+  const double quiet_lo = bench.sequential() ? 3.6e-9 : 1.0e-9;
+  const double quiet_hi = bench.sequential() ? 4.4e-9 : 1.9e-9;
+  out.static_current = isupply.average(quiet_lo, quiet_hi);
+  out.static_power = out.static_current * d.tech.vdd();
+
+  // --- gated-off leakage ----------------------------------------------------
+  if (d.power_gated()) {
+    TestbenchOptions sleep_opt;
+    sleep_opt.fanout = fanout;
+    sleep_opt.asleep = true;
+    McmlTestbench sleeping(kind, d, sleep_opt);
+    const spice::DcResult dc = sleeping.run_dc();
+    if (dc.converged) {
+      spice::Solution sol(dc.x, sleeping.circuit().num_nodes());
+      const auto id = sleeping.circuit().find_device("VDD");
+      out.sleep_current = -sleeping.circuit().device(id).probe_current(sol);
+    }
+
+    // --- wake-up time --------------------------------------------------------
+    TestbenchOptions wake_opt;
+    wake_opt.fanout = fanout;
+    wake_opt.sleep_pulse = true;
+    wake_opt.sleep_rise_time = 1e-9;
+    McmlTestbench waking(kind, d, wake_opt);
+    const spice::TranResult wr = waking.run();
+    if (wr.ok) {
+      const util::Waveform w = waking.diff_output(wr);
+      const double final_v = w.value_at(waking.t_stop());
+      const double target = 0.9 * final_v;
+      // Search from the sleep edge for the 90% settling point.
+      const auto t90 =
+          final_v >= 0 ? w.crossing(target, +1, 1e-9) : w.crossing(target, -1, 1e-9);
+      if (t90.has_value()) out.wake_time = *t90 - 1e-9;
+    }
+  } else {
+    out.sleep_current = out.static_current;
+  }
+
+  out.ok = true;
+  return out;
+}
+
+BufferSweepPoint characterize_buffer_at(const McmlDesign& base, double iss) {
+  BufferSweepPoint pt;
+  pt.iss = iss;
+
+  McmlDesign d = base;
+  const double scale = iss / base.iss;
+  d.iss = iss;
+  // Resize for constant current density / overdrive, as a designer would.
+  d.w_tail = base.w_tail * scale;
+  d.w_pair = base.w_pair * std::max(scale, 0.25);
+  d.w_load = base.w_load * std::max(scale, 0.25);
+  const BiasResult bias = solve_bias(d);
+  if (!bias.ok) return pt;
+  pt.vn = d.vn;
+  pt.vp = d.vp;
+
+  auto delay_at = [&](int fanout) -> double {
+    TestbenchOptions opt;
+    opt.fanout = fanout;
+    McmlTestbench bench(CellKind::kBuf, d, opt);
+    const spice::TranResult tr = bench.run();
+    if (!tr.ok) return -1.0;
+    const util::Waveform vout = bench.diff_output(tr);
+    std::vector<double> delays;
+    const auto edges = bench.stimulus_edges();
+    for (std::size_t i = 1; i < edges.size(); ++i) {
+      const auto cross = vout.crossing(0.0, 0, edges[i]);
+      if (cross.has_value() && *cross - edges[i] < 1.8e-9) {
+        delays.push_back(*cross - edges[i]);
+      }
+    }
+    return delays.empty() ? -1.0 : util::mean(delays);
+  };
+
+  pt.delay_fo1 = delay_at(1);
+  pt.delay_fo4 = delay_at(4);
+  if (pt.delay_fo1 <= 0.0 || pt.delay_fo4 <= 0.0) return pt;
+
+  pt.power = d.tech.vdd() * iss;
+  // Area grows with the Iss-proportional device widths.  Wiring and
+  // diffusion sharing dominate the footprint, so only about half a pitch of
+  // the nominal 5-pitch buffer scales with the tail stack's current.
+  AreaModel area;
+  const double pitches = 4.5 + 0.5 * (iss / 50e-6);
+  pt.area = pitches * area.pg_pitch() * area.cell_height();
+  pt.ok = true;
+  return pt;
+}
+
+}  // namespace pgmcml::mcml

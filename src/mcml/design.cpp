@@ -1,0 +1,16 @@
+#include "pgmcml/mcml/design.hpp"
+
+namespace pgmcml::mcml {
+
+std::string to_string(GatingTopology t) {
+  switch (t) {
+    case GatingTopology::kNone: return "conventional";
+    case GatingTopology::kVnPullDown: return "(a) Vn pull-down";
+    case GatingTopology::kVnSwitch: return "(b) Vn switch";
+    case GatingTopology::kBodyBias: return "(c) body bias";
+    case GatingTopology::kSeriesSleep: return "(d) series sleep";
+  }
+  return "?";
+}
+
+}  // namespace pgmcml::mcml

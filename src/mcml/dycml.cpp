@@ -1,0 +1,114 @@
+#include "pgmcml/mcml/dycml.hpp"
+
+#include "pgmcml/spice/engine.hpp"
+#include "pgmcml/util/units.hpp"
+
+namespace pgmcml::mcml {
+
+using spice::MosParams;
+using spice::NodeId;
+using spice::SourceSpec;
+using util::ns;
+using util::ps;
+
+DiffNet build_dycml_buffer(spice::Circuit& c, const DycmlDesign& d,
+                           NodeId vdd, NodeId clk, DiffNet in,
+                           const std::string& prefix) {
+  const NodeId gnd = c.gnd();
+  DiffNet out{c.node(prefix + "out_p"), c.node(prefix + "out_n")};
+
+  auto add = [&](const std::string& name, NodeId dr, NodeId g, NodeId s,
+                 NodeId b, const MosParams& p) {
+    c.add_mosfet(prefix + name, dr, g, s, b, p);
+    if (d.include_parasitics) {
+      c.add_capacitor(prefix + name + ".cgs", g, s, p.cgs());
+      c.add_capacitor(prefix + name + ".cgd", g, dr, p.cgd());
+      c.add_capacitor(prefix + name + ".cdb", dr, gnd, p.cdb());
+    }
+  };
+
+  // Precharge PMOS pair: outputs to Vdd while clk is low.
+  const MosParams pre = d.tech.pmos(spice::VtFlavor::kLowVt, d.w_precharge);
+  add("MP1", out.p, clk, vdd, vdd, pre);
+  add("MP2", out.n, clk, vdd, vdd, pre);
+
+  // Keeper: weak cross-coupled PMOS holding the high side after evaluation.
+  const MosParams keep = d.tech.pmos(spice::VtFlavor::kLowVt, d.w_keeper);
+  add("MK1", out.p, out.n, vdd, vdd, keep);
+  add("MK2", out.n, out.p, vdd, vdd, keep);
+
+  // Differential pair into the common node.
+  const NodeId cs = c.node(prefix + "cs");
+  const MosParams pair = d.tech.nmos(spice::VtFlavor::kLowVt, d.w_pair);
+  add("M1", out.n, in.p, cs, gnd, pair);
+  add("M2", out.p, in.n, cs, gnd, pair);
+
+  // Clocked footer into the virtual-ground tank: the discharge is
+  // self-limiting once the tank charges up -- the "dynamic current source".
+  const NodeId vg = c.node(prefix + "vg");
+  const MosParams foot = d.tech.nmos(spice::VtFlavor::kLowVt, d.w_footer);
+  add("MF", cs, clk, vg, gnd, foot);
+  c.add_capacitor(prefix + "CVG", vg, gnd, d.c_virtual_gnd);
+  // Tank reset switch: drains the virtual ground while precharging.
+  const NodeId clkb = c.node(prefix + "clkb");
+  add("MR", vg, clkb, gnd, gnd, d.tech.nmos(spice::VtFlavor::kLowVt, 0.8e-6));
+  return out;
+}
+
+DycmlCharacterization characterize_dycml_buffer(const DycmlDesign& d) {
+  DycmlCharacterization out;
+  spice::Circuit c;
+  const double vdd = d.tech.vdd();
+  const NodeId nvdd = c.node("vdd");
+  const NodeId clk = c.node("clk");
+  const NodeId clkb = c.node("dut.clkb");  // reset switch gate (complement)
+  c.add_vsource("VDD", nvdd, c.gnd(), SourceSpec::dc(vdd));
+  // 2 ns period: evaluate 1 ns, precharge 1 ns; 3 cycles.
+  c.add_vsource("VCLK", clk, c.gnd(),
+                SourceSpec::pulse(0.0, vdd, 1 * ns, 30 * ps, 30 * ps, 0.97 * ns,
+                                  2 * ns));
+  c.add_vsource("VCLKB", clkb, c.gnd(),
+                SourceSpec::pulse(vdd, 0.0, 1 * ns, 30 * ps, 30 * ps, 0.97 * ns,
+                                  2 * ns));
+  DiffNet in{c.node("in_p"), c.node("in_n")};
+  // Full-rail differential input (DyCML inputs come from other DyCML gates'
+  // precharged-high outputs; drive a static pattern).
+  c.add_vsource("VINP", in.p, c.gnd(), SourceSpec::dc(vdd));
+  c.add_vsource("VINN", in.n, c.gnd(), SourceSpec::dc(vdd - 0.6));
+
+  const std::size_t devices_before = c.count_mosfets();
+  const DiffNet outp = build_dycml_buffer(c, d, nvdd, clk, in, "dut.");
+  out.transistors = static_cast<int>(c.count_mosfets() - devices_before);
+  c.add_capacitor("CLP", outp.p, c.gnd(), 2e-15);
+  c.add_capacitor("CLN", outp.n, c.gnd(), 2e-15);
+
+  spice::TranOptions topt;
+  topt.dt_max = 10 * ps;
+  const spice::TranResult tr = spice::transient(c, 6 * ns, topt);
+  if (!tr.ok) {
+    out.error = tr.error;
+    return out;
+  }
+
+  // Delay: evaluate edge at 3 ns (second cycle) to differential crossing.
+  const util::Waveform vp = tr.node_waveform(outp.p);
+  const util::Waveform vn = tr.node_waveform(outp.n);
+  const util::Waveform diff = vp.plus(vn.scaled(-1.0));
+  // in = 1 discharges out_n: the differential rises from 0 toward +Vswing.
+  const auto cross = diff.crossing(0.2, +1, 3.0 * ns);
+  if (!cross.has_value()) {
+    out.error = "no evaluation transition found";
+    return out;
+  }
+  out.delay = *cross - (3.0 * ns + 15 * ps);
+
+  // Energy per operation: supply charge over one full cycle (3 ns..5 ns).
+  const util::Waveform isup = spice::supply_current(c, tr, "VDD");
+  out.energy_per_op = isup.integral(3.0 * ns, 5.0 * ns) * vdd;
+  // Idle current: late in the precharge phase, before the next evaluate.
+  out.idle_current = isup.average(5.6 * ns, 5.95 * ns);
+  out.ok = true;
+  return out;
+}
+
+}  // namespace pgmcml::mcml

@@ -1,0 +1,99 @@
+// Transistor-level netlist generators for the MCML / PG-MCML cells.
+//
+// Every cell is a composition of CML *stages*.  A stage is one tail current
+// source plus up to two levels of series-gated NMOS differential pairs under
+// a pair of PMOS triode loads -- the classic MCML structure of Fig. 1.  The
+// power-gating network under the tail follows the selected topology from
+// Fig. 2 (the library default is (d): a sleep transistor in series on top of
+// the current source, sized like the tail device so both share a diffusion).
+//
+// Because the logic is fully differential, complementation is free: an
+// inverted signal is just the swapped net pair (`invert`), and OR2 is AND2
+// with complemented inputs and outputs (De Morgan).  This is the property
+// that keeps MCML cell counts low during technology mapping.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pgmcml/mcml/cells.hpp"
+#include "pgmcml/mcml/design.hpp"
+#include "pgmcml/spice/circuit.hpp"
+
+namespace pgmcml::mcml {
+
+/// A differential net: p carries the true phase, n the complement.
+struct DiffNet {
+  spice::NodeId p = -1;
+  spice::NodeId n = -1;
+  bool valid() const { return p >= 0 && n >= 0; }
+};
+
+/// Free complement: swap the phases.
+inline DiffNet invert(DiffNet x) { return {x.n, x.p}; }
+
+/// Supply / bias / control rails shared by all cells on a row.
+struct McmlRails {
+  spice::NodeId vdd = -1;
+  spice::NodeId vp = -1;        ///< PMOS load gate bias
+  spice::NodeId vn = -1;        ///< tail gate bias
+  spice::NodeId sleep_on = -1;  ///< high = cell awake (sleep transistor on)
+  spice::NodeId sleep_off = -1; ///< complement, used by topologies (a)/(b)
+};
+
+/// Result of emitting one cell.
+struct CellPorts {
+  std::vector<DiffNet> outputs;  ///< [q] or [sum, cout] for the full adder
+};
+
+class McmlCellBuilder {
+ public:
+  McmlCellBuilder(spice::Circuit& circuit, const McmlDesign& design,
+                  McmlRails rails, std::string prefix);
+
+  /// Creates a named differential net pair `<prefix><name>_p/_n`.
+  DiffNet make_diff(const std::string& name);
+
+  // --- individual stages (each adds one tail + gating network) -------------
+  DiffNet buffer_stage(DiffNet in);
+  DiffNet and2_stage(DiffNet a, DiffNet b);
+  DiffNet or2_stage(DiffNet a, DiffNet b);
+  DiffNet xor2_stage(DiffNet a, DiffNet b);
+  /// q = sel ? in1 : in0.
+  DiffNet mux2_stage(DiffNet sel, DiffNet in0, DiffNet in1);
+  /// Level-sensitive latch, transparent while clk is high.
+  DiffNet latch_stage(DiffNet d, DiffNet clk);
+  /// Differential-to-single-ended converter; returns a CMOS-level node.
+  spice::NodeId d2s_stage(DiffNet in);
+
+  // --- whole cells -----------------------------------------------------------
+  /// Emits `kind`.  `data` carries the logical inputs (a, b, c, d / sel+data
+  /// for muxes / d for flops), `clk` the clock where applicable, `ctrl` the
+  /// reset or enable where applicable.
+  CellPorts emit_cell(CellKind kind, const std::vector<DiffNet>& data,
+                      DiffNet clk = {}, DiffNet ctrl = {});
+
+  int stages_emitted() const { return stage_counter_; }
+  int mosfets_emitted() const { return mosfet_counter_; }
+  const McmlDesign& design() const { return design_; }
+
+ private:
+  /// Adds a MOSFET plus (optionally) its parasitic capacitances.
+  void add_mos(const std::string& name, spice::NodeId d, spice::NodeId g,
+               spice::NodeId s, spice::NodeId b, const spice::MosParams& p);
+  /// Adds the two PMOS loads of a stage onto (out.p, out.n).
+  void add_loads(const std::string& stage, DiffNet out);
+  /// Builds the tail current source + power-gating network of one stage and
+  /// returns the node the differential network's common source connects to.
+  spice::NodeId tail_network(const std::string& stage);
+  std::string stage_name(const std::string& kind);
+
+  spice::Circuit& ckt_;
+  McmlDesign design_;
+  McmlRails rails_;
+  std::string prefix_;
+  int stage_counter_ = 0;
+  int mosfet_counter_ = 0;
+};
+
+}  // namespace pgmcml::mcml

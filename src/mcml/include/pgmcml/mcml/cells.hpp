@@ -1,0 +1,64 @@
+// The 16-cell PG-MCML library: cell identities and layout metadata.
+//
+// The pitch counts are the library's layout data (the paper's cells are on
+// a fixed-height row with a fixed horizontal pitch; every area in Tables 1
+// and 2 is an integer number of pitches).  The PG variant keeps the pitch
+// count but widens the pitch by 19/18 to absorb the sleep transistor, which
+// reproduces the uniform ~5.6 % ("approximately 6 %") PG overhead of
+// Table 1.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pgmcml::mcml {
+
+enum class CellKind {
+  kBuf,          // buffer / inverter (free complement)
+  kDiff2Single,  // differential-to-single-ended converter
+  kAnd2,
+  kAnd3,
+  kAnd4,
+  kMux2,
+  kMux4,
+  kMaj3,         // majority-of-3 (MAJ32)
+  kXor2,
+  kXor3,
+  kXor4,
+  kDLatch,
+  kDff,
+  kDffR,         // DFF with reset
+  kEDff,         // DFF with enable
+  kFullAdder,
+};
+
+/// All sixteen members of the library, in Table 2 order.
+const std::vector<CellKind>& all_cells();
+
+struct CellInfo {
+  CellKind kind;
+  std::string name;        ///< library name, e.g. "AND4"
+  int num_inputs;          ///< logical data inputs (excluding clk/reset/en)
+  int num_clocks;          ///< clock-like inputs (clk)
+  int num_controls;        ///< reset / enable inputs
+  int num_stages;          ///< CML stages (= tail current sources) in the cell
+  int pitch_count;         ///< layout width in pitches (area data)
+  bool sequential;
+  /// Paper Table 2 "MCML area / CMOS area" ratio, when listed.
+  std::optional<double> cmos_area_ratio;
+  /// Paper Table 2 reference delay [s] (for EXPERIMENTS.md comparison).
+  double paper_delay;
+  /// Paper Table 2 PG-MCML area [m^2] (for cross-checking the area model).
+  double paper_pg_area;
+};
+
+const CellInfo& cell_info(CellKind kind);
+const CellInfo* find_cell(const std::string& name);
+std::string to_string(CellKind kind);
+
+/// Total transistor count of one cell (network + loads + tails [+ sleep]).
+int transistor_count(CellKind kind, bool power_gated);
+
+}  // namespace pgmcml::mcml

@@ -1,0 +1,106 @@
+// Cell characterization: builds a transistor-level testbench around one cell
+// (bias rails, differential stimulus, fan-out loads), runs the SPICE engine,
+// and extracts the library figures: propagation delay, output swing, awake
+// static current, gated-off leakage, and wake-up time.  This is the engine
+// behind Table 2, Fig. 3 and the gating-topology ablation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pgmcml/mcml/builder.hpp"
+#include "pgmcml/mcml/design.hpp"
+#include "pgmcml/spice/engine.hpp"
+
+namespace pgmcml::mcml {
+
+struct CellCharacterization {
+  CellKind kind = CellKind::kBuf;
+  bool ok = false;
+  std::string error;
+  double delay = 0.0;           ///< propagation delay at the given fan-out [s]
+  double swing = 0.0;           ///< measured differential output swing [V]
+  double static_current = 0.0;  ///< awake quiescent supply current [A]
+  double static_power = 0.0;    ///< Vdd * static_current [W]
+  double sleep_current = 0.0;   ///< supply current with the cell gated off [A]
+  double wake_time = 0.0;       ///< sleep->valid-output time [s] (gated only)
+  int transistors = 0;
+};
+
+/// Characterizes one cell of the library at the given design point.
+CellCharacterization characterize_cell(CellKind kind, const McmlDesign& design,
+                                       int fanout = 1);
+
+/// One point of the Fig. 3 buffer design-space exploration.
+struct BufferSweepPoint {
+  bool ok = false;
+  double iss = 0.0;        ///< tail current [A]
+  double vn = 0.0;
+  double vp = 0.0;
+  double delay_fo1 = 0.0;  ///< buffer delay, fan-out 1 [s]
+  double delay_fo4 = 0.0;  ///< buffer delay, fan-out 4 [s]
+  double power = 0.0;      ///< static power Vdd*Iss [W]
+  double area = 0.0;       ///< area model including Iss-dependent sizing [m^2]
+  double power_delay() const { return power * delay_fo4; }
+  double area_delay() const { return area * delay_fo4; }
+};
+
+/// Re-biases and re-characterizes the buffer at a given tail current
+/// (device widths scale with Iss above the base point, as a designer would
+/// resize the tail/pairs to keep overdrives constant).
+BufferSweepPoint characterize_buffer_at(const McmlDesign& base, double iss);
+
+/// Reusable testbench: cell + rails + stimulus, for tests and benches that
+/// need waveform-level access.
+/// Testbench construction options.  `sleep_pulse` replaces the DC-awake
+/// sleep rail by a 0->1 transition at `sleep_rise_time` (for wake-up
+/// measurements); `asleep` holds the cell gated off for leakage tests.
+struct TestbenchOptions {
+  int fanout = 1;
+  bool asleep = false;
+  bool sleep_pulse = false;
+  double sleep_rise_time = 1e-9;
+};
+
+class McmlTestbench {
+ public:
+  McmlTestbench(CellKind kind, const McmlDesign& design,
+                TestbenchOptions options = {});
+
+  /// Runs a transient over the standard stimulus window.
+  spice::TranResult run();
+  /// DC solve only (for leakage / swing checks).
+  spice::DcResult run_dc();
+
+  spice::Circuit& circuit() { return circuit_; }
+  const std::vector<DiffNet>& outputs() const { return outputs_; }
+  DiffNet toggling_input() const { return toggle_in_; }
+  double t_stop() const { return t_stop_; }
+  /// Time of the reference input (or clock) transitions, 50% points.
+  std::vector<double> stimulus_edges() const { return stimulus_edges_; }
+  bool sequential() const { return sequential_; }
+  int stages() const { return stages_; }
+  int mosfets() const { return mosfets_; }
+
+  /// Supply-current waveform of the last run.
+  util::Waveform supply_current(const spice::TranResult& tr) const;
+  /// Differential output voltage of the last run (primary output).
+  util::Waveform diff_output(const spice::TranResult& tr, int index = 0) const;
+
+ private:
+  void build(CellKind kind, const McmlDesign& design,
+             const TestbenchOptions& options);
+
+  spice::Circuit circuit_;
+  McmlDesign design_;
+  std::vector<DiffNet> outputs_;
+  DiffNet toggle_in_;
+  std::vector<double> stimulus_edges_;
+  double t_stop_ = 0.0;
+  bool sequential_ = false;
+  bool single_ended_out_ = false;
+  int stages_ = 0;
+  int mosfets_ = 0;
+};
+
+}  // namespace pgmcml::mcml

@@ -1,0 +1,52 @@
+// Dynamic Current Mode Logic (DyCML) -- the related-work alternative of
+// Allam & Elmasry (JSSC 2001) that the paper compares its approach against
+// in Section 2: instead of a static tail current, DyCML evaluates with a
+// *dynamic current pulse* drawn into a virtual-ground capacitor, so power is
+// consumed only by gates that are processing data (like dynamic logic), at
+// the cost of a clocked precharge phase and a current-source generation
+// scheme the paper calls impractical for advanced nodes / EDA flows.
+//
+// The buffer here follows the canonical DyCML structure: precharge PMOS
+// pair on the outputs, the differential NMOS network, a clocked evaluation
+// footer discharging into a virtual-ground capacitor (self-limiting current
+// pulse), plus a small cross-coupled keeper.
+#pragma once
+
+#include <string>
+
+#include "pgmcml/mcml/builder.hpp"
+#include "pgmcml/mcml/design.hpp"
+#include "pgmcml/spice/circuit.hpp"
+
+namespace pgmcml::mcml {
+
+struct DycmlDesign {
+  spice::Technology tech{};
+  double w_pair = 1.0e-6;
+  double w_precharge = 0.8e-6;
+  double w_footer = 1.5e-6;
+  double w_keeper = 0.3e-6;
+  double c_virtual_gnd = 8e-15;  ///< virtual-ground tank [F]
+  bool include_parasitics = true;
+};
+
+/// Emits a DyCML buffer into `circuit`.  `clk` is single-ended (precharge
+/// low / evaluate high).  Returns the differential output.
+DiffNet build_dycml_buffer(spice::Circuit& circuit, const DycmlDesign& design,
+                           spice::NodeId vdd, spice::NodeId clk, DiffNet in,
+                           const std::string& prefix);
+
+struct DycmlCharacterization {
+  bool ok = false;
+  std::string error;
+  double delay = 0.0;          ///< clk-to-output evaluation delay [s]
+  double energy_per_op = 0.0;  ///< supply energy per evaluate cycle [J]
+  double idle_current = 0.0;   ///< static draw between operations [A]
+  int transistors = 0;
+};
+
+/// Transistor-level characterization of the DyCML buffer over a few
+/// precharge/evaluate cycles.
+DycmlCharacterization characterize_dycml_buffer(const DycmlDesign& design = {});
+
+}  // namespace pgmcml::mcml

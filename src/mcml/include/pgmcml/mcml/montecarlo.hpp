@@ -1,0 +1,33 @@
+// Monte-Carlo characterization: re-runs the transistor-level cell
+// characterization with Pelgrom mismatch applied to every device, giving
+// the library's process-variation distributions (delay sigma, tail-current
+// spread, swing spread).  This is the analysis behind the paper's remark
+// that passive load resistors vary 20-30 % while active loads are tunable,
+// and behind sizing the tail for current accuracy.
+#pragma once
+
+#include <cstdint>
+
+#include "pgmcml/mcml/characterize.hpp"
+#include "pgmcml/mcml/design.hpp"
+#include "pgmcml/util/stats.hpp"
+
+namespace pgmcml::mcml {
+
+struct MonteCarloResult {
+  int samples = 0;
+  int failures = 0;  ///< non-converged / non-functional samples
+  util::RunningStats delay;
+  util::RunningStats static_current;
+  util::RunningStats swing;
+  util::RunningStats sleep_current;
+};
+
+/// Characterizes `kind` `n` times with fresh mismatch draws.  The mismatch
+/// is injected by perturbing every generated device's Vth/kp according to
+/// the technology's Pelgrom coefficients (Technology::with_mismatch).
+MonteCarloResult monte_carlo_characterize(CellKind kind,
+                                          const McmlDesign& design, int n,
+                                          std::uint64_t seed = 1234);
+
+}  // namespace pgmcml::mcml

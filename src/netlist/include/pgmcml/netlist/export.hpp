@@ -1,0 +1,30 @@
+// Netlist interchange: structural Verilog out, VCD waveform dump.
+//
+// These are the hand-off artifacts of the paper's flow -- the synthesized
+// netlist goes to P&R as structural Verilog, and the gate-level simulation's
+// switching activity goes to the power tool as a VCD.  Both formats are kept
+// conventional enough for real tools to parse.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pgmcml/cells/library.hpp"
+#include "pgmcml/netlist/design.hpp"
+#include "pgmcml/netlist/logicsim.hpp"
+
+namespace pgmcml::netlist {
+
+/// Renders the design as structural Verilog over the library's cell names.
+/// Folded inversions / differential phase selections appear as `_N`-suffixed
+/// cell variants (free in MCML, real inverters in CMOS -- a comment marks
+/// which).
+std::string to_verilog(const Design& design, const cells::CellLibrary& library);
+
+/// Renders a recorded event stream as a VCD dump.  `timescale` is the VCD
+/// unit in seconds (default 1 ps).  Nets are initialized to 0 at time 0, as
+/// in the simulator.
+std::string to_vcd(const Design& design, const std::vector<SimEvent>& events,
+                   double timescale = 1e-12);
+
+}  // namespace pgmcml::netlist

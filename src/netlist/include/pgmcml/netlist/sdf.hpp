@@ -1,0 +1,21 @@
+// SDF (Standard Delay Format) export: the delay back-annotation file the
+// paper feeds from P&R into Modelsim ("the delay back annotation (in SDF
+// format) as input", Section 6).  Emits per-instance IOPATH delays from the
+// library, optionally with the placed wire (INTERCONNECT) delays.
+#pragma once
+
+#include <string>
+
+#include "pgmcml/cells/library.hpp"
+#include "pgmcml/netlist/design.hpp"
+#include "pgmcml/netlist/place.hpp"
+
+namespace pgmcml::netlist {
+
+/// Renders the design's delays as SDF.  When `placement` is non-null, each
+/// driven net also gets an INTERCONNECT entry from the placed wire length.
+std::string to_sdf(const Design& design, const cells::CellLibrary& library,
+                   const PlacementResult* placement = nullptr,
+                   double wire_delay_per_length = 6e-8);
+
+}  // namespace pgmcml::netlist

@@ -1,0 +1,121 @@
+#include "pgmcml/netlist/place.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pgmcml::netlist {
+
+PlacementResult place_and_route(const Design& design,
+                                const cells::CellLibrary& library,
+                                const PlacementOptions& options) {
+  PlacementResult result;
+  const std::size_t n = design.num_instances();
+  result.sites.resize(n);
+  result.net_length.assign(design.num_nets(), 0.0);
+  if (n == 0) return result;
+
+  // --- die sizing -------------------------------------------------------------
+  for (std::size_t i = 0; i < n; ++i) {
+    result.cell_area +=
+        library.cell(design.instance(static_cast<InstId>(i)).kind).area;
+  }
+  result.die_area = result.cell_area / options.target_utilization;
+  // Near-square die out of full rows.
+  const double ideal_side = std::sqrt(result.die_area);
+  result.rows = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(ideal_side / options.row_height)));
+  result.die_height = static_cast<double>(result.rows) * options.row_height;
+  result.die_width = result.die_area / result.die_height;
+
+  // --- placement: topological order snaked across rows ------------------------
+  // Ordering by logic depth keeps connected cells nearby -- the first-order
+  // behaviour of a real placer on datapath-like netlists.
+  const std::vector<InstId> order = design.topological_order();
+  std::size_t row = 0;
+  double x = 0.0;
+  bool left_to_right = true;
+  for (InstId i : order) {
+    const double width =
+        library.cell(design.instance(i).kind).area / options.row_height;
+    if (x + width > result.die_width && row + 1 < result.rows) {
+      ++row;
+      x = 0.0;
+      left_to_right = !left_to_right;
+    }
+    CellSite site;
+    site.instance = i;
+    site.row = static_cast<int>(row);
+    site.x = left_to_right ? x : std::max(0.0, result.die_width - x - width);
+    site.width = width;
+    result.sites[static_cast<std::size_t>(i)] = site;
+    x += width;
+  }
+  result.utilization = result.cell_area / result.die_area;
+
+  // --- routing estimate: HPWL per net -----------------------------------------
+  // Pin position ~ cell center; primary ports sit on the left die edge.
+  auto cell_pos = [&](InstId i) {
+    const CellSite& s = result.sites[static_cast<std::size_t>(i)];
+    return std::pair<double, double>(
+        s.x + 0.5 * s.width,
+        (static_cast<double>(s.row) + 0.5) * options.row_height);
+  };
+
+  const std::vector<InstId> driver = design.driver_map();
+  std::vector<double> lo_x(design.num_nets(), 1e9);
+  std::vector<double> hi_x(design.num_nets(), -1e9);
+  std::vector<double> lo_y(design.num_nets(), 1e9);
+  std::vector<double> hi_y(design.num_nets(), -1e9);
+  auto touch = [&](NetId net, double px, double py) {
+    lo_x[net] = std::min(lo_x[net], px);
+    hi_x[net] = std::max(hi_x[net], px);
+    lo_y[net] = std::min(lo_y[net], py);
+    hi_y[net] = std::max(hi_y[net], py);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const Instance& inst = design.instance(static_cast<InstId>(i));
+    const auto [px, py] = cell_pos(static_cast<InstId>(i));
+    for (NetId in : inst.inputs) touch(in, px, py);
+    if (inst.clk != kNoNet) touch(inst.clk, px, py);
+    if (inst.ctrl != kNoNet) touch(inst.ctrl, px, py);
+    for (NetId out : inst.outputs) touch(out, px, py);
+  }
+  for (NetId port : design.inputs()) {
+    touch(port, 0.0, 0.5 * result.die_height);
+  }
+  for (NetId port : design.outputs()) {
+    touch(port, result.die_width, 0.5 * result.die_height);
+  }
+
+  const double fat = options.fat_wires ? 2.0 : 1.0;
+  for (NetId net = 0; net < static_cast<NetId>(design.num_nets()); ++net) {
+    if (hi_x[net] < lo_x[net]) continue;  // untouched net
+    const double hpwl = (hi_x[net] - lo_x[net]) + (hi_y[net] - lo_y[net]);
+    result.net_length[net] = hpwl;
+    result.total_wire_length += hpwl * fat;
+    result.total_wire_cap += hpwl * fat * options.wire_cap_per_length;
+  }
+
+  // --- wire-aware timing --------------------------------------------------------
+  std::vector<double> arrival(design.num_nets(), 0.0);
+  for (InstId i : order) {
+    const Instance& inst = design.instance(i);
+    double in_arrival = 0.0;
+    if (!mcml::cell_info(inst.kind).sequential) {
+      for (NetId in : inst.inputs) {
+        in_arrival = std::max(in_arrival, arrival[in]);
+      }
+    }
+    const double cell_delay = library.cell(inst.kind).delay;
+    for (NetId out : inst.outputs) {
+      const double wire_delay =
+          result.net_length[out] * options.wire_delay_per_length;
+      arrival[out] = in_arrival + cell_delay + wire_delay;
+      result.routed_critical_path =
+          std::max(result.routed_critical_path, arrival[out]);
+    }
+  }
+  return result;
+}
+
+}  // namespace pgmcml::netlist

@@ -1,0 +1,47 @@
+#include "pgmcml/netlist/sdf.hpp"
+
+#include <sstream>
+
+namespace pgmcml::netlist {
+
+std::string to_sdf(const Design& design, const cells::CellLibrary& library,
+                   const PlacementResult* placement,
+                   double wire_delay_per_length) {
+  std::ostringstream os;
+  os << "(DELAYFILE\n";
+  os << "  (SDFVERSION \"3.0\")\n";
+  os << "  (DESIGN \"" << design.name() << "\")\n";
+  os << "  (VENDOR \"pgmcml\")\n";
+  os << "  (TIMESCALE 1ps)\n";
+  for (std::size_t i = 0; i < design.num_instances(); ++i) {
+    const Instance& inst = design.instance(static_cast<InstId>(i));
+    const cells::StdCell& cell = library.cell(inst.kind);
+    const double d_ps = cell.delay * 1e12;
+    os << "  (CELL (CELLTYPE \"" << cell.name << "\")\n";
+    os << "    (INSTANCE " << inst.name << ")\n";
+    os << "    (DELAY (ABSOLUTE\n";
+    const char* out_pin =
+        inst.kind == mcml::CellKind::kFullAdder ? "S" : "Q";
+    os << "      (IOPATH * " << out_pin << " (" << d_ps << ":" << d_ps << ":"
+       << d_ps << ") (" << d_ps << ":" << d_ps << ":" << d_ps << "))\n";
+    if (inst.outputs.size() > 1) {
+      os << "      (IOPATH * CO (" << d_ps << ":" << d_ps << ":" << d_ps
+         << ") (" << d_ps << ":" << d_ps << ":" << d_ps << "))\n";
+    }
+    if (placement != nullptr) {
+      for (NetId out : inst.outputs) {
+        const double w_ps =
+            placement->net_length[out] * wire_delay_per_length * 1e12;
+        if (w_ps <= 0.0) continue;
+        os << "      (INTERCONNECT " << inst.name << "/" << out_pin << " * ("
+           << w_ps << ":" << w_ps << ":" << w_ps << "))\n";
+      }
+    }
+    os << "    ))\n";
+    os << "  )\n";
+  }
+  os << ")\n";
+  return os.str();
+}
+
+}  // namespace pgmcml::netlist

@@ -1,0 +1,227 @@
+#include "pgmcml/or1k/aes_program.hpp"
+
+#include <stdexcept>
+
+namespace pgmcml::or1k {
+namespace {
+
+// Register conventions for the generated program.
+constexpr int kZero = 0;
+constexpr int kPtBase = 1;
+constexpr int kCtBase = 2;
+constexpr int kAddr = 3;
+constexpr int kTable = 4;
+constexpr int kRkPtr = 5;
+constexpr int kRound = 6;
+constexpr int kRoundLimit = 7;
+constexpr int kBlock = 8;
+constexpr int kBlockLimit = 9;
+// State columns (each word = column: byte r at bit 8r).
+constexpr int kW0 = 10;
+constexpr int kT0 = 14;  // kT0..kT0+3: shifted/mixed state
+constexpr int kTmp1 = 18;
+constexpr int kTmp2 = 19;
+constexpr int kMaskFF00 = 20;
+constexpr int kMaskFF0000 = 21;
+constexpr int kMaskFF000000 = 22;
+constexpr int kMaskFE = 23;  // 0xfefefefe
+constexpr int kMask01 = 24;  // 0x01010101
+constexpr int kXt1 = 25;
+constexpr int kXt2 = 26;
+constexpr int kSpin = 27;
+constexpr int kByte = 28;
+
+/// Emits SubBytes on the four state columns.
+void emit_sub_bytes(Assembler& a, bool use_ise) {
+  if (use_ise) {
+    for (int c = 0; c < 4; ++c) a.sbox(kW0 + c, kW0 + c);
+    return;
+  }
+  // Software: for each column, substitute each byte via the memory table.
+  for (int c = 0; c < 4; ++c) {
+    const int w = kW0 + c;
+    // acc = 0.
+    a.addi(kTmp2, kZero, 0);
+    for (int byte = 0; byte < 4; ++byte) {
+      a.srli(kByte, w, 8 * byte);
+      a.andi(kByte, kByte, 0xff);
+      a.add(kAddr, kTable, kByte);
+      a.lbz(kByte, kAddr, 0);
+      if (byte > 0) a.slli(kByte, kByte, 8 * byte);
+      a.or_(kTmp2, kTmp2, kByte);
+    }
+    a.or_(w, kTmp2, kZero);
+  }
+}
+
+/// Extracts byte `r` of column register `w` into `dst`, left in place
+/// (still at bit position 8r).
+void emit_byte_mask(Assembler& a, int dst, int w, int r) {
+  switch (r) {
+    case 0: a.andi(dst, w, 0xff); break;
+    case 1: a.and_(dst, w, kMaskFF00); break;
+    case 2: a.and_(dst, w, kMaskFF0000); break;
+    case 3: a.and_(dst, w, kMaskFF000000); break;
+  }
+}
+
+/// ShiftRows: new column c gets byte r from old column (c + r) mod 4.
+void emit_shift_rows(Assembler& a) {
+  for (int c = 0; c < 4; ++c) {
+    const int dst = kT0 + c;
+    emit_byte_mask(a, dst, kW0 + c, 0);
+    for (int r = 1; r < 4; ++r) {
+      emit_byte_mask(a, kTmp1, kW0 + ((c + r) & 3), r);
+      a.or_(dst, dst, kTmp1);
+    }
+  }
+  for (int c = 0; c < 4; ++c) a.or_(kW0 + c, kT0 + c, kZero);
+}
+
+/// xtime on all four bytes of `src`, result in `dst` (may alias temps
+/// kXt1/kXt2 internally).
+void emit_xtime(Assembler& a, int dst, int src) {
+  // high = (src >> 7) & 0x01010101 : the bytes whose MSB was set.
+  a.srli(kXt1, src, 7);
+  a.and_(kXt1, kXt1, kMask01);
+  // spread = high * 0x1b = high ^ high<<1 ^ high<<3 ^ high<<4 (bits disjoint).
+  a.slli(kXt2, kXt1, 1);
+  a.xor_(kXt2, kXt2, kXt1);
+  a.slli(kXt1, kXt1, 3);
+  a.xor_(kXt2, kXt2, kXt1);
+  a.srli(kXt1, kXt1, 3);  // restore high
+  a.slli(kXt1, kXt1, 4);
+  a.xor_(kXt2, kXt2, kXt1);
+  // dst = ((src << 1) & 0xfefefefe) ^ spread.
+  a.slli(kXt1, src, 1);
+  a.and_(kXt1, kXt1, kMaskFE);
+  a.xor_(dst, kXt1, kXt2);
+}
+
+/// Rotates column bytes: dst = src rotated so that byte (k) moves to byte 0.
+void emit_rot(Assembler& a, int dst, int src, int bytes) {
+  a.srli(kTmp1, src, 8 * bytes);
+  a.slli(kTmp2, src, 32 - 8 * bytes);
+  a.or_(dst, kTmp1, kTmp2);
+}
+
+/// MixColumns: w = xt(w) ^ xt(r1) ^ r1 ^ r2 ^ r3, with r_k = rot by k bytes.
+void emit_mix_columns(Assembler& a) {
+  for (int c = 0; c < 4; ++c) {
+    const int w = kW0 + c;
+    const int out = kT0 + c;
+    emit_rot(a, kTmp1, w, 1);        // r1 in kTmp1 (careful with temps below)
+    emit_xtime(a, out, w);           // out = xt(w)
+    // out ^= xt(r1) ^ r1.
+    a.or_(kByte, kTmp1, kZero);      // save r1 (emit_rot/xtime clobber temps)
+    emit_xtime(a, kTmp2, kByte);
+    a.xor_(out, out, kTmp2);
+    a.xor_(out, out, kByte);
+    emit_rot(a, kTmp1, w, 2);
+    a.xor_(out, out, kTmp1);
+    emit_rot(a, kTmp1, w, 3);
+    a.xor_(out, out, kTmp1);
+  }
+  for (int c = 0; c < 4; ++c) a.or_(kW0 + c, kT0 + c, kZero);
+}
+
+/// AddRoundKey from the current round-key pointer, then advance it.
+void emit_add_round_key(Assembler& a) {
+  for (int c = 0; c < 4; ++c) {
+    a.lw(kTmp1, kRkPtr, 4 * c);
+    a.xor_(kW0 + c, kW0 + c, kTmp1);
+  }
+  a.addi(kRkPtr, kRkPtr, 16);
+}
+
+}  // namespace
+
+std::vector<Instr> build_aes_program(const AesProgramOptions& options) {
+  if (options.blocks < 1) {
+    throw std::invalid_argument("build_aes_program: blocks must be >= 1");
+  }
+  Assembler a;
+  // --- constants -------------------------------------------------------------
+  a.load_imm32(kPtBase, AesLayout::kPlaintext);
+  a.load_imm32(kCtBase, AesLayout::kCiphertext);
+  a.load_imm32(kTable, AesLayout::kSboxTable);
+  a.load_imm32(kMaskFF00, 0x0000ff00u);
+  a.load_imm32(kMaskFF0000, 0x00ff0000u);
+  a.load_imm32(kMaskFF000000, 0xff000000u);
+  a.load_imm32(kMaskFE, 0xfefefefeu);
+  a.load_imm32(kMask01, 0x01010101u);
+  a.addi(kBlock, kZero, 0);
+  a.load_imm32(kBlockLimit, static_cast<std::uint32_t>(options.blocks));
+
+  a.label("block_loop");
+  // --- load state and round-key pointer --------------------------------------
+  for (int c = 0; c < 4; ++c) a.lw(kW0 + c, kPtBase, 4 * c);
+  a.load_imm32(kRkPtr, AesLayout::kRoundKeys);
+  emit_add_round_key(a);  // round 0
+
+  a.addi(kRound, kZero, 0);
+  a.addi(kRoundLimit, kZero, 9);
+  a.label("round_loop");
+  emit_sub_bytes(a, options.use_ise);
+  emit_shift_rows(a);
+  emit_mix_columns(a);
+  emit_add_round_key(a);
+  a.addi(kRound, kRound, 1);
+  a.bltu(kRound, kRoundLimit, "round_loop");
+
+  // Final round: no MixColumns.
+  emit_sub_bytes(a, options.use_ise);
+  emit_shift_rows(a);
+  emit_add_round_key(a);
+
+  // --- store ciphertext -------------------------------------------------------
+  for (int c = 0; c < 4; ++c) a.sw(kCtBase, 4 * c, kW0 + c);
+
+  // Optional idle spin between blocks (models the surrounding software that
+  // dilutes the ISE duty cycle to the paper's 0.01 %).
+  if (options.idle_spin > 0) {
+    a.load_imm32(kSpin, static_cast<std::uint32_t>(options.idle_spin));
+    a.label("spin");
+    a.addi(kSpin, kSpin, -1);
+    a.bne(kSpin, kZero, "spin");
+  }
+
+  a.addi(kBlock, kBlock, 1);
+  a.bltu(kBlock, kBlockLimit, "block_loop");
+  a.halt();
+  return a.build();
+}
+
+AesRun run_aes_program(const aes::Key& key, const aes::Block& plaintext,
+                       const AesProgramOptions& options) {
+  Cpu cpu(build_aes_program(options));
+  // Plaintext: column-major words, byte r of column c at address offset
+  // 4c + r (little-endian words make this a plain byte copy).
+  for (int i = 0; i < 16; ++i) {
+    cpu.store_byte(AesLayout::kPlaintext + i, plaintext[i]);
+  }
+  const aes::KeySchedule ks = aes::expand_key(key);
+  for (int r = 0; r < 11; ++r) {
+    for (int i = 0; i < 16; ++i) {
+      cpu.store_byte(AesLayout::kRoundKeys + 16 * r + i, ks.round_keys[r][i]);
+    }
+  }
+  for (int i = 0; i < 256; ++i) {
+    cpu.store_byte(AesLayout::kSboxTable + i,
+                   aes::sbox()[static_cast<std::size_t>(i)]);
+  }
+
+  AesRun run;
+  run.halted = cpu.run(200'000'000ULL);
+  for (int i = 0; i < 16; ++i) {
+    run.ciphertext[i] = cpu.load_byte(AesLayout::kCiphertext + i);
+  }
+  run.cycles = cpu.cycles();
+  run.ise_executions = cpu.ise_cycles().size();
+  run.ise_duty = cpu.ise_duty();
+  run.ise_cycle_indices = cpu.ise_cycles();
+  run.ise_operand_words = cpu.ise_operands();
+  return run;
+}
+
+}  // namespace pgmcml::or1k

@@ -1,0 +1,53 @@
+// AES-128 software implementation for the OR1K-subset CPU, with SubBytes
+// either through the `l.sbox` custom instruction (the paper's S-box ISE:
+// four parallel S-boxes covering the 32-bit word) or through byte-wise table
+// lookups (pure-software baseline).
+//
+// ShiftRows and MixColumns run in software on the base ISA -- this matches
+// the papers' ISE approach [Tillich/Grossschaedl CHES'07, Regazzoni CHES'09]
+// where only the S-box is moved into protected custom hardware, because the
+// S-box input is the key-dependent DPA target.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pgmcml/aes/aes.hpp"
+#include "pgmcml/or1k/cpu.hpp"
+#include "pgmcml/or1k/isa.hpp"
+
+namespace pgmcml::or1k {
+
+/// Fixed memory map of the AES program.
+struct AesLayout {
+  static constexpr std::uint32_t kPlaintext = 0x100;   ///< 16 bytes
+  static constexpr std::uint32_t kCiphertext = 0x140;  ///< 16 bytes
+  static constexpr std::uint32_t kRoundKeys = 0x200;   ///< 11 x 16 bytes
+  static constexpr std::uint32_t kSboxTable = 0x400;   ///< 256 bytes
+};
+
+struct AesProgramOptions {
+  bool use_ise = true;  ///< l.sbox vs software table lookups
+  int blocks = 1;       ///< encryptions per run (paper: 5000)
+  /// Busy-wait cycles between encryptions: models the surrounding workload
+  /// that makes the ISE duty cycle as low as the paper's 0.01 %.
+  int idle_spin = 0;
+};
+
+/// Builds the program (expects the round keys already expanded in memory).
+std::vector<Instr> build_aes_program(const AesProgramOptions& options = {});
+
+/// Loads key/plaintext into a fresh CPU, runs the program, returns results.
+struct AesRun {
+  aes::Block ciphertext{};
+  std::uint64_t cycles = 0;
+  std::size_t ise_executions = 0;
+  double ise_duty = 0.0;
+  std::vector<std::uint64_t> ise_cycle_indices;
+  std::vector<std::uint32_t> ise_operand_words;
+  bool halted = false;
+};
+AesRun run_aes_program(const aes::Key& key, const aes::Block& plaintext,
+                       const AesProgramOptions& options = {});
+
+}  // namespace pgmcml::or1k

@@ -1,0 +1,37 @@
+#include "pgmcml/or1k/isa.hpp"
+
+#include <stdexcept>
+
+namespace pgmcml::or1k {
+
+void Assembler::label(const std::string& name) {
+  if (labels_.contains(name)) {
+    throw std::invalid_argument("duplicate label: " + name);
+  }
+  labels_[name] = static_cast<std::int32_t>(program_.size());
+}
+
+void Assembler::branch(Op op, int ra, int rb, const std::string& target) {
+  fixups_.emplace_back(program_.size(), target);
+  emit({op, 0, ra, rb, 0, -1});
+}
+
+void Assembler::load_imm32(int rd, std::uint32_t value) {
+  movhi(rd, static_cast<std::int32_t>(value >> 16));
+  if ((value & 0xffffu) != 0) {
+    ori(rd, rd, static_cast<std::int32_t>(value & 0xffffu));
+  }
+}
+
+std::vector<Instr> Assembler::build() {
+  for (const auto& [index, name] : fixups_) {
+    auto it = labels_.find(name);
+    if (it == labels_.end()) {
+      throw std::invalid_argument("undefined label: " + name);
+    }
+    program_[index].target = it->second;
+  }
+  return program_;
+}
+
+}  // namespace pgmcml::or1k

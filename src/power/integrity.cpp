@@ -1,0 +1,48 @@
+#include "pgmcml/power/integrity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pgmcml/util/waveform.hpp"
+
+namespace pgmcml::power {
+
+InrushResult analyze_wake_inrush(const CurrentKernels& kernels,
+                                 double block_current,
+                                 const InrushOptions& options) {
+  InrushResult result;
+  result.steady_current = block_current;
+  if (block_current <= 0.0 || options.stagger_groups == 0) return result;
+
+  // Compose the wake current: the block's cells split into `stagger_groups`
+  // equal groups whose sleep signals arrive `stagger_step` apart (the sleep
+  // tree's leaf staggering).
+  const std::size_t n =
+      static_cast<std::size_t>(options.window / options.dt) + 1;
+  util::GridAccumulator acc(0.0, options.dt, n);
+  const double group_current =
+      block_current / static_cast<double>(options.stagger_groups);
+  for (std::size_t g = 0; g < options.stagger_groups; ++g) {
+    const double t_on = static_cast<double>(g) * options.stagger_step;
+    acc.add_kernel(t_on, kernels.pg_wake, group_current);
+    // After the wake transient the group settles at its steady share.
+    acc.add_level(t_on + kernels.pg_wake.t_end() + options.dt,
+                  options.window + options.dt, group_current);
+  }
+
+  const std::vector<double>& i = acc.values();
+  for (double v : i) result.peak_current = std::max(result.peak_current, v);
+  result.peak_droop = result.peak_current * options.grid_resistance;
+  result.droop_fraction = result.peak_droop / options.vdd;
+
+  // Settling: last time the current is outside +-5% of steady.
+  result.settle_time = 0.0;
+  for (std::size_t k = 0; k < i.size(); ++k) {
+    if (std::fabs(i[k] - block_current) > 0.05 * block_current) {
+      result.settle_time = options.dt * static_cast<double>(k);
+    }
+  }
+  return result;
+}
+
+}  // namespace pgmcml::power

@@ -1,0 +1,90 @@
+#include "pgmcml/power/kernels.hpp"
+
+#include <stdexcept>
+
+#include "pgmcml/mcml/bias.hpp"
+#include "pgmcml/mcml/characterize.hpp"
+#include "pgmcml/util/units.hpp"
+
+namespace pgmcml::power {
+
+using util::ps;
+using util::Waveform;
+
+CurrentKernels default_kernels() {
+  CurrentKernels k;
+  // CMOS toggle: triangular pulse, 80 ps base, unit charge (area = 1).
+  // peak = 2 * Q / width with Q = 1.
+  const double width = 80 * ps;
+  k.cmos_toggle = Waveform({{0.0, 0.0},
+                            {0.5 * width, 2.0 / width},
+                            {width, 0.0}});
+  // MCML steering transient: small dip then overshoot, net area ~zero,
+  // ~2 % of Iss peak over ~60 ps.  The tail current source's high output
+  // impedance keeps the supply disturbance this small -- the property that
+  // makes MCML DPA-resistant.
+  k.mcml_switch = Waveform({{0.0, 0.0},
+                            {10 * ps, -0.02},
+                            {30 * ps, 0.02},
+                            {60 * ps, 0.0}});
+  // Wake: tail current ramps up in ~200 ps with a 15 % inrush overshoot
+  // (recharging the output nodes through the loads).
+  k.pg_wake = Waveform({{0.0, 0.0},
+                        {80 * ps, 0.7},
+                        {150 * ps, 1.15},
+                        {300 * ps, 1.0}});
+  // Sleep: decay to (almost) zero in ~150 ps.
+  k.pg_sleep = Waveform({{0.0, 1.0}, {60 * ps, 0.25}, {150 * ps, 0.0}});
+  return k;
+}
+
+CurrentKernels kernels_from_spice(const mcml::McmlDesign& base) {
+  CurrentKernels k = default_kernels();  // fallback shapes
+
+  mcml::McmlDesign design = base;
+  const mcml::BiasResult bias = mcml::solve_bias(design);
+  if (!bias.ok) {
+    throw std::runtime_error("kernels_from_spice: bias failed: " + bias.error);
+  }
+  const double iss = design.eff_iss();
+
+  // --- switching transient: supply current around an input edge ------------
+  {
+    mcml::TestbenchOptions opt;
+    opt.fanout = 1;
+    mcml::McmlTestbench bench(mcml::CellKind::kBuf, design, opt);
+    const spice::TranResult tr = bench.run();
+    if (tr.ok) {
+      const util::Waveform supply = bench.supply_current(tr);
+      // DC level just before the 4 ns edge; transient window after it.
+      const double dc = supply.average(3.0e-9, 3.9e-9);
+      Waveform blip;
+      const double t_edge = 4.0e-9;
+      for (double t = 0.0; t <= 300 * ps; t += 5 * ps) {
+        blip.append(t, (supply.value_at(t_edge + t) - dc) / iss);
+      }
+      k.mcml_switch = blip;
+    }
+  }
+
+  // --- wake / sleep transients ----------------------------------------------
+  if (design.power_gated()) {
+    mcml::TestbenchOptions opt;
+    opt.fanout = 1;
+    opt.sleep_pulse = true;
+    opt.sleep_rise_time = 1e-9;
+    mcml::McmlTestbench bench(mcml::CellKind::kBuf, design, opt);
+    const spice::TranResult tr = bench.run();
+    if (tr.ok) {
+      const util::Waveform supply = bench.supply_current(tr);
+      Waveform wake;
+      for (double t = 0.0; t <= 600 * ps; t += 10 * ps) {
+        wake.append(t, supply.value_at(1e-9 + t) / iss);
+      }
+      k.pg_wake = wake;
+    }
+  }
+  return k;
+}
+
+}  // namespace pgmcml::power

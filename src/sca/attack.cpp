@@ -1,0 +1,207 @@
+#include "pgmcml/sca/attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pgmcml/aes/aes.hpp"
+#include "pgmcml/util/stats.hpp"
+
+namespace pgmcml::sca {
+
+double predict_leakage(LeakageModel model, std::uint8_t plaintext,
+                       std::uint8_t key_guess) {
+  const std::uint8_t v = aes::reduced_target(plaintext, key_guess);
+  switch (model) {
+    case LeakageModel::kHammingWeight:
+      return static_cast<double>(util::hamming_weight(v));
+    case LeakageModel::kSboxBit0:
+      return static_cast<double>(v & 1);
+    case LeakageModel::kIdentity:
+      return static_cast<double>(v);
+  }
+  return 0.0;
+}
+
+int CpaResult::key_rank(std::uint8_t true_key) const {
+  int rank = 0;
+  const double mine = peak_correlation[true_key];
+  for (int k = 0; k < 256; ++k) {
+    if (k != true_key && peak_correlation[k] > mine) ++rank;
+  }
+  return rank;
+}
+
+double CpaResult::margin(std::uint8_t true_key) const {
+  double best_wrong = 0.0;
+  for (int k = 0; k < 256; ++k) {
+    if (k != true_key) best_wrong = std::max(best_wrong, peak_correlation[k]);
+  }
+  return peak_correlation[true_key] - best_wrong;
+}
+
+CpaResult cpa_attack(const TraceSet& traces, LeakageModel model,
+                     bool keep_time_curves) {
+  CpaResult result;
+  const std::size_t n = traces.num_traces();
+  const std::size_t m = traces.samples_per_trace();
+  if (n < 2 || m == 0) return result;
+
+  // Precompute per-guess predictions (and their means / variances).
+  // corr(guess, t) = cov(h_g, s_t) / (sigma_h * sigma_s).
+  std::vector<std::array<double, 256>> h(n);
+  std::array<double, 256> h_mean{};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int k = 0; k < 256; ++k) {
+      h[i][k] = predict_leakage(model, traces.plaintext(i),
+                                static_cast<std::uint8_t>(k));
+      h_mean[k] += h[i][k];
+    }
+  }
+  for (double& v : h_mean) v /= static_cast<double>(n);
+  std::array<double, 256> h_var{};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int k = 0; k < 256; ++k) {
+      const double d = h[i][k] - h_mean[k];
+      h_var[k] += d * d;
+    }
+  }
+
+  // Column statistics of the samples.
+  const std::vector<double> s_mean = traces.mean_trace();
+  std::vector<double> s_var(m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& t = traces.trace(i);
+    for (std::size_t j = 0; j < m; ++j) {
+      const double d = t[j] - s_mean[j];
+      s_var[j] += d * d;
+    }
+  }
+
+  if (keep_time_curves) {
+    result.correlation_vs_time.assign(m, {});
+  }
+
+  // Covariance accumulation: for each sample column, accumulate against all
+  // 256 centered predictions.
+  std::vector<std::array<double, 256>> cov(m, std::array<double, 256>{});
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& t = traces.trace(i);
+    std::array<double, 256> hc;
+    for (int k = 0; k < 256; ++k) hc[k] = h[i][k] - h_mean[k];
+    for (std::size_t j = 0; j < m; ++j) {
+      const double sc = t[j] - s_mean[j];
+      if (sc == 0.0) continue;
+      auto& c = cov[j];
+      for (int k = 0; k < 256; ++k) c[k] += hc[k] * sc;
+    }
+  }
+
+  for (std::size_t j = 0; j < m; ++j) {
+    for (int k = 0; k < 256; ++k) {
+      const double denom = std::sqrt(h_var[k] * s_var[j]);
+      const double corr = denom > 0.0 ? cov[j][k] / denom : 0.0;
+      if (keep_time_curves) result.correlation_vs_time[j][k] = corr;
+      result.peak_correlation[k] =
+          std::max(result.peak_correlation[k], std::fabs(corr));
+    }
+  }
+  result.best_guess = static_cast<int>(
+      std::max_element(result.peak_correlation.begin(),
+                       result.peak_correlation.end()) -
+      result.peak_correlation.begin());
+  return result;
+}
+
+int DpaResult::key_rank(std::uint8_t true_key) const {
+  int rank = 0;
+  const double mine = peak_difference[true_key];
+  for (int k = 0; k < 256; ++k) {
+    if (k != true_key && peak_difference[k] > mine) ++rank;
+  }
+  return rank;
+}
+
+DpaResult dpa_attack(const TraceSet& traces) {
+  DpaResult result;
+  const std::size_t n = traces.num_traces();
+  const std::size_t m = traces.samples_per_trace();
+  if (n < 2 || m == 0) return result;
+
+  for (int k = 0; k < 256; ++k) {
+    std::vector<double> sum1(m, 0.0);
+    std::vector<double> sum0(m, 0.0);
+    std::size_t n1 = 0;
+    std::size_t n0 = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool bit = (aes::reduced_target(traces.plaintext(i),
+                                            static_cast<std::uint8_t>(k)) &
+                        1) != 0;
+      const auto& t = traces.trace(i);
+      if (bit) {
+        ++n1;
+        for (std::size_t j = 0; j < m; ++j) sum1[j] += t[j];
+      } else {
+        ++n0;
+        for (std::size_t j = 0; j < m; ++j) sum0[j] += t[j];
+      }
+    }
+    if (n1 == 0 || n0 == 0) continue;
+    double peak = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      const double diff = sum1[j] / static_cast<double>(n1) -
+                          sum0[j] / static_cast<double>(n0);
+      peak = std::max(peak, std::fabs(diff));
+    }
+    result.peak_difference[k] = peak;
+  }
+  result.best_guess = static_cast<int>(
+      std::max_element(result.peak_difference.begin(),
+                       result.peak_difference.end()) -
+      result.peak_difference.begin());
+  return result;
+}
+
+CpaResult second_order_cpa(const TraceSet& traces, LeakageModel model) {
+  // Preprocess: subtract the population mean trace, square per sample.
+  const std::vector<double> mean = traces.mean_trace();
+  TraceSet squared(traces.samples_per_trace());
+  for (std::size_t i = 0; i < traces.num_traces(); ++i) {
+    std::vector<double> t = traces.trace(i);
+    for (std::size_t j = 0; j < t.size(); ++j) {
+      const double c = t[j] - mean[j];
+      t[j] = c * c;
+    }
+    squared.add(traces.plaintext(i), std::move(t));
+  }
+  return cpa_attack(squared, model);
+}
+
+std::size_t measurements_to_disclosure(const TraceSet& traces,
+                                       std::uint8_t true_key,
+                                       LeakageModel model,
+                                       std::size_t grid_points) {
+  const std::size_t n = traces.num_traces();
+  if (n < 4 || grid_points < 2) return 0;
+  // Evaluate the rank on a grid of prefix sizes; MTD is the smallest grid
+  // point from which the rank stays 0 through the full set.
+  std::vector<std::size_t> grid;
+  for (std::size_t g = 1; g <= grid_points; ++g) {
+    grid.push_back(std::max<std::size_t>(4, g * n / grid_points));
+  }
+  std::vector<bool> success(grid.size(), false);
+  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+    const CpaResult r = cpa_attack(traces.prefix(grid[gi]), model);
+    success[gi] = (r.key_rank(true_key) == 0);
+  }
+  // Find the earliest stable success.
+  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+    bool stable = true;
+    for (std::size_t gj = gi; gj < grid.size(); ++gj) {
+      stable = stable && success[gj];
+    }
+    if (stable) return grid[gi];
+  }
+  return 0;
+}
+
+}  // namespace pgmcml::sca

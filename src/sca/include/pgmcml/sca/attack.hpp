@@ -1,0 +1,74 @@
+// Power-analysis attacks on the reduced AES target (S-box output of
+// plaintext XOR key):
+//   * Correlation power analysis (Brier/Clavier/Olivier, CHES 2004): Pearson
+//     correlation between the measured samples and a leakage model of the
+//     predicted intermediate, for each of the 256 key guesses.
+//   * Classic difference-of-means DPA (Kocher, CRYPTO 1999) on one predicted
+//     bit.
+// Success metrics: best guess, rank of the true key, distinguishability
+// margin, and measurements-to-disclosure.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "pgmcml/sca/traces.hpp"
+
+namespace pgmcml::sca {
+
+enum class LeakageModel {
+  kHammingWeight,  ///< HW(sbox(p ^ k)) -- the model used in the paper
+  kSboxBit0,       ///< single predicted bit (for DPA partitioning)
+  kIdentity,       ///< raw intermediate value
+};
+
+/// Leakage prediction for plaintext p under key guess k.
+double predict_leakage(LeakageModel model, std::uint8_t plaintext,
+                       std::uint8_t key_guess);
+
+struct CpaResult {
+  /// max_t |corr(guess, t)| for each key guess.
+  std::array<double, 256> peak_correlation{};
+  /// Correlation-vs-time for each guess (the Fig. 6 curves).
+  std::vector<std::array<double, 256>> correlation_vs_time;
+  int best_guess = -1;
+
+  /// Rank of the true key (0 = attack succeeded).
+  int key_rank(std::uint8_t true_key) const;
+  /// Margin between the true key's peak and the best wrong guess
+  /// (positive = distinguishable).
+  double margin(std::uint8_t true_key) const;
+};
+
+/// Runs CPA over the trace set.  `keep_time_curves` retains the full
+/// correlation-vs-time matrix (needed for the Fig. 6 plot).
+CpaResult cpa_attack(const TraceSet& traces,
+                     LeakageModel model = LeakageModel::kHammingWeight,
+                     bool keep_time_curves = false);
+
+struct DpaResult {
+  /// max_t |mean1(t) - mean0(t)| for each key guess.
+  std::array<double, 256> peak_difference{};
+  int best_guess = -1;
+  int key_rank(std::uint8_t true_key) const;
+};
+
+/// Kocher-style difference of means, partitioning on a predicted S-box bit.
+DpaResult dpa_attack(const TraceSet& traces);
+
+/// Second-order CPA: centers each trace and squares it sample-wise before
+/// the Pearson stage (the standard univariate 2nd-order preprocessing that
+/// defeats first-order masking; included as evaluation tooling).
+CpaResult second_order_cpa(const TraceSet& traces,
+                           LeakageModel model = LeakageModel::kHammingWeight);
+
+/// Smallest number of traces (scanning prefixes on `grid` points) for which
+/// the CPA rank of the true key is 0 and stays 0 on every larger prefix.
+/// Returns 0 when the attack never discloses the key.
+std::size_t measurements_to_disclosure(const TraceSet& traces,
+                                       std::uint8_t true_key,
+                                       LeakageModel model,
+                                       std::size_t grid_points = 16);
+
+}  // namespace pgmcml::sca

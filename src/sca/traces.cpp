@@ -1,0 +1,36 @@
+#include "pgmcml/sca/traces.hpp"
+
+#include <stdexcept>
+
+namespace pgmcml::sca {
+
+void TraceSet::add(std::uint8_t plaintext, std::vector<double> trace) {
+  if (samples_ == 0) {
+    samples_ = trace.size();
+  } else if (trace.size() != samples_) {
+    throw std::invalid_argument("TraceSet::add: sample-count mismatch");
+  }
+  plaintexts_.push_back(plaintext);
+  data_.push_back(std::move(trace));
+}
+
+std::vector<double> TraceSet::mean_trace() const {
+  std::vector<double> mean(samples_, 0.0);
+  if (data_.empty()) return mean;
+  for (const auto& t : data_) {
+    for (std::size_t i = 0; i < samples_; ++i) mean[i] += t[i];
+  }
+  for (double& v : mean) v /= static_cast<double>(data_.size());
+  return mean;
+}
+
+TraceSet TraceSet::prefix(std::size_t n) const {
+  TraceSet out(samples_);
+  const std::size_t count = std::min(n, num_traces());
+  for (std::size_t i = 0; i < count; ++i) {
+    out.add(plaintexts_[i], data_[i]);
+  }
+  return out;
+}
+
+}  // namespace pgmcml::sca

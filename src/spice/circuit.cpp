@@ -1,0 +1,331 @@
+#include "pgmcml/spice/circuit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pgmcml::spice {
+
+// --- Device base ------------------------------------------------------------
+
+void Device::commit(const Solution& x, double t, double dt) {
+  (void)x;
+  (void)t;
+  (void)dt;
+}
+
+void Device::reset_state(const Solution& x) { (void)x; }
+
+// --- Resistor ----------------------------------------------------------------
+
+Resistor::Resistor(std::string name, NodeId a, NodeId b, double ohms)
+    : Device(std::move(name)), a_(a), b_(b), r_(ohms) {
+  if (!(ohms > 0.0)) {
+    throw std::invalid_argument("Resistor: resistance must be positive");
+  }
+}
+
+void Resistor::stamp(StampContext& ctx) { ctx.conductance(a_, b_, 1.0 / r_); }
+
+double Resistor::probe_current(const Solution& x) const {
+  return (x.v(a_) - x.v(b_)) / r_;
+}
+
+// --- Capacitor ----------------------------------------------------------------
+
+Capacitor::Capacitor(std::string name, NodeId a, NodeId b, double farads,
+                     double initial_voltage)
+    : Device(std::move(name)),
+      a_(a),
+      b_(b),
+      c_(farads),
+      v_prev_(initial_voltage) {
+  if (!(farads >= 0.0)) {
+    throw std::invalid_argument("Capacitor: capacitance must be >= 0");
+  }
+}
+
+void Capacitor::stamp(StampContext& ctx) {
+  if (ctx.dt <= 0.0 || ctx.method == Integration::kNone) {
+    // DC: open circuit (a tiny conductance keeps floating nodes solvable).
+    ctx.conductance(a_, b_, ctx.gmin);
+    return;
+  }
+  if (ctx.first_iteration) {
+    // Companion model is a function of the *previous* accepted step only, so
+    // compute it once per timestep.
+    if (ctx.method == Integration::kTrapezoidal) {
+      geq_ = 2.0 * c_ / ctx.dt;
+      ieq_ = -geq_ * v_prev_ - i_prev_;
+    } else {  // backward Euler
+      geq_ = c_ / ctx.dt;
+      ieq_ = -geq_ * v_prev_;
+    }
+  }
+  ctx.conductance(a_, b_, geq_);
+  // i(t) = geq * v + ieq flows a->b; move the constant part to the RHS.
+  ctx.current(a_, b_, ieq_);
+}
+
+void Capacitor::commit(const Solution& x, double t, double dt) {
+  (void)t;
+  if (dt <= 0.0) {
+    reset_state(x);
+    return;
+  }
+  const double v_now = x.v(a_) - x.v(b_);
+  i_prev_ = geq_ * v_now + ieq_;
+  v_prev_ = v_now;
+}
+
+void Capacitor::reset_state(const Solution& x) {
+  v_prev_ = x.v(a_) - x.v(b_);
+  i_prev_ = 0.0;
+  geq_ = 0.0;
+  ieq_ = 0.0;
+}
+
+double Capacitor::probe_current(const Solution& x) const {
+  (void)x;
+  return i_prev_;
+}
+
+// --- VoltageSource -------------------------------------------------------------
+
+VoltageSource::VoltageSource(std::string name, NodeId pos, NodeId neg,
+                             SourceSpec spec)
+    : Device(std::move(name)), pos_(pos), neg_(neg), spec_(std::move(spec)) {}
+
+void VoltageSource::stamp(StampContext& ctx) {
+  const std::size_t br = ctx.branch_index(branch_);
+  if (ctx.node_valid(pos_)) {
+    ctx.A.at(ctx.node_index(pos_), br) += 1.0;
+    ctx.A.at(br, ctx.node_index(pos_)) += 1.0;
+  }
+  if (ctx.node_valid(neg_)) {
+    ctx.A.at(ctx.node_index(neg_), br) -= 1.0;
+    ctx.A.at(br, ctx.node_index(neg_)) -= 1.0;
+  }
+  ctx.b[br] += ctx.source_scale * spec_.value(ctx.t);
+}
+
+double VoltageSource::probe_current(const Solution& x) const {
+  return x.branch(branch_);
+}
+
+// --- CurrentSource -------------------------------------------------------------
+
+CurrentSource::CurrentSource(std::string name, NodeId pos, NodeId neg,
+                             SourceSpec spec)
+    : Device(std::move(name)), pos_(pos), neg_(neg), spec_(std::move(spec)) {}
+
+void CurrentSource::stamp(StampContext& ctx) {
+  // SPICE convention: positive value flows from pos, through the source,
+  // into neg (i.e. it is extracted from node pos).
+  ctx.current(pos_, neg_, ctx.source_scale * spec_.value(ctx.t));
+}
+
+double CurrentSource::probe_current(const Solution& x) const {
+  (void)x;
+  return spec_.value(0.0);
+}
+
+// --- Mosfet ----------------------------------------------------------------------
+
+Mosfet::Mosfet(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
+               MosParams params)
+    : Device(std::move(name)), d_(d), g_(g), s_(s), b_(b), params_(params) {}
+
+double Mosfet::limited(double v_new, double v_old) const {
+  // Clamp the per-iteration change in controlling voltages; 0.3 V steps keep
+  // the exponential subthreshold region from exploding while converging in
+  // a handful of iterations for 1.2 V circuits.
+  constexpr double kMaxStep = 0.3;
+  const double delta = v_new - v_old;
+  if (delta > kMaxStep) return v_old + kMaxStep;
+  if (delta < -kMaxStep) return v_old - kMaxStep;
+  return v_new;
+}
+
+void Mosfet::stamp(StampContext& ctx) {
+  double vgs = ctx.x.v(g_) - ctx.x.v(s_);
+  double vds = ctx.x.v(d_) - ctx.x.v(s_);
+  const double vbs = ctx.x.v(b_) - ctx.x.v(s_);
+
+  if (have_iter_ && !ctx.first_iteration) {
+    vgs = limited(vgs, vgs_iter_);
+    vds = limited(vds, vds_iter_);
+  }
+  vgs_iter_ = vgs;
+  vds_iter_ = vds;
+  have_iter_ = true;
+
+  const MosEval e = mos_eval(params_, vgs, vds, vbs);
+
+  // Linearized drain current: id = e.id + gm dVgs + gds dVds + gmb dVbs.
+  // Equivalent current source for the RHS.
+  const double ieq = e.id - e.gm * vgs - e.gds * vds - e.gmb * vbs;
+  const double gsum = e.gm + e.gds + e.gmb;
+
+  ctx.add(d_, g_, e.gm);
+  ctx.add(d_, d_, e.gds);
+  ctx.add(d_, b_, e.gmb);
+  ctx.add(d_, s_, -gsum);
+  ctx.rhs(d_, -ieq);
+
+  ctx.add(s_, g_, -e.gm);
+  ctx.add(s_, d_, -e.gds);
+  ctx.add(s_, b_, -e.gmb);
+  ctx.add(s_, s_, gsum);
+  ctx.rhs(s_, ieq);
+
+  // Convergence aid: gmin from drain and source to ground.
+  ctx.add(d_, d_, ctx.gmin);
+  ctx.add(s_, s_, ctx.gmin);
+}
+
+void Mosfet::commit(const Solution& x, double t, double dt) {
+  (void)t;
+  (void)dt;
+  vgs_iter_ = x.v(g_) - x.v(s_);
+  vds_iter_ = x.v(d_) - x.v(s_);
+  have_iter_ = true;
+}
+
+void Mosfet::reset_state(const Solution& x) {
+  commit(x, 0.0, 0.0);
+}
+
+double Mosfet::probe_current(const Solution& x) const {
+  const double vgs = x.v(g_) - x.v(s_);
+  const double vds = x.v(d_) - x.v(s_);
+  const double vbs = x.v(b_) - x.v(s_);
+  return mos_eval(params_, vgs, vds, vbs).id;
+}
+
+// --- Circuit ----------------------------------------------------------------------
+
+Circuit::Circuit() {
+  node_names_.push_back("0");
+  node_index_.emplace("0", kGround);
+}
+
+NodeId Circuit::node(const std::string& name) {
+  auto it = node_index_.find(name);
+  if (it != node_index_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(name);
+  node_index_.emplace(name, id);
+  finalized_ = false;
+  return id;
+}
+
+NodeId Circuit::internal_node(const std::string& hint) {
+  for (;;) {
+    std::string name = hint + "#" + std::to_string(anon_counter_++);
+    if (!node_index_.contains(name)) return node(name);
+  }
+}
+
+NodeId Circuit::find_node(const std::string& name) const {
+  auto it = node_index_.find(name);
+  return it == node_index_.end() ? -1 : it->second;
+}
+
+namespace {
+template <typename T, typename... Args>
+DeviceId add_device(std::vector<std::unique_ptr<Device>>& devices,
+                    std::unordered_map<std::string, DeviceId>& index,
+                    bool& finalized, const std::string& name, Args&&... args) {
+  if (index.contains(name)) {
+    throw std::invalid_argument("duplicate device name: " + name);
+  }
+  const DeviceId id = static_cast<DeviceId>(devices.size());
+  devices.push_back(std::make_unique<T>(name, std::forward<Args>(args)...));
+  index.emplace(name, id);
+  finalized = false;
+  return id;
+}
+}  // namespace
+
+DeviceId Circuit::add_resistor(const std::string& name, NodeId a, NodeId b,
+                               double ohms) {
+  return add_device<Resistor>(devices_, device_index_, finalized_, name, a, b,
+                              ohms);
+}
+
+DeviceId Circuit::add_capacitor(const std::string& name, NodeId a, NodeId b,
+                                double farads, double initial_voltage) {
+  return add_device<Capacitor>(devices_, device_index_, finalized_, name, a, b,
+                               farads, initial_voltage);
+}
+
+DeviceId Circuit::add_vsource(const std::string& name, NodeId pos, NodeId neg,
+                              SourceSpec spec) {
+  return add_device<VoltageSource>(devices_, device_index_, finalized_, name,
+                                   pos, neg, std::move(spec));
+}
+
+DeviceId Circuit::add_isource(const std::string& name, NodeId pos, NodeId neg,
+                              SourceSpec spec) {
+  return add_device<CurrentSource>(devices_, device_index_, finalized_, name,
+                                   pos, neg, std::move(spec));
+}
+
+DeviceId Circuit::add_mosfet(const std::string& name, NodeId d, NodeId g,
+                             NodeId s, NodeId b, const MosParams& params) {
+  return add_device<Mosfet>(devices_, device_index_, finalized_, name, d, g, s,
+                            b, params);
+}
+
+DeviceId Circuit::find_device(const std::string& name) const {
+  auto it = device_index_.find(name);
+  return it == device_index_.end() ? -1 : it->second;
+}
+
+std::size_t Circuit::num_unknowns() const {
+  std::size_t extra = 0;
+  for (const auto& dev : devices_) {
+    extra += static_cast<std::size_t>(dev->extra_unknowns());
+  }
+  return (num_nodes() - 1) + extra;
+}
+
+void Circuit::finalize() {
+  std::size_t offset = 0;
+  for (auto& dev : devices_) {
+    if (dev->extra_unknowns() > 0) {
+      dev->set_branch_offset(offset);
+      offset += static_cast<std::size_t>(dev->extra_unknowns());
+    }
+  }
+  finalized_ = true;
+}
+
+std::vector<double> Circuit::source_breakpoints(double t_stop) const {
+  std::vector<double> out;
+  for (const auto& dev : devices_) {
+    const SourceSpec* spec = nullptr;
+    if (const auto* vs = dynamic_cast<const VoltageSource*>(dev.get())) {
+      spec = &vs->spec();
+    }
+    if (spec == nullptr) continue;
+    auto bps = spec->breakpoints(t_stop);
+    out.insert(out.end(), bps.begin(), bps.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](double a, double b) { return std::fabs(a - b) < 1e-18; }),
+            out.end());
+  return out;
+}
+
+std::size_t Circuit::count_mosfets() const {
+  std::size_t n = 0;
+  for (const auto& dev : devices_) {
+    if (dynamic_cast<const Mosfet*>(dev.get()) != nullptr) ++n;
+  }
+  return n;
+}
+
+}  // namespace pgmcml::spice

@@ -1,0 +1,383 @@
+#include "pgmcml/spice/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pgmcml/util/matrix.hpp"
+
+namespace pgmcml::spice {
+namespace {
+
+struct NewtonSettings {
+  int max_iterations;
+  double reltol;
+  double vabstol;
+  double gmin;
+  double source_scale = 1.0;
+  double t = 0.0;
+  double dt = 0.0;
+  Integration method = Integration::kNone;
+};
+
+struct NewtonOutcome {
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Runs Newton-Raphson on the MNA system in place; `x` is the initial guess
+/// on entry and the solution on (successful) exit.
+NewtonOutcome newton_solve(Circuit& circuit, std::vector<double>& x,
+                           const NewtonSettings& s) {
+  const std::size_t n = circuit.num_unknowns();
+  const std::size_t num_nodes = circuit.num_nodes();
+  util::Matrix a(n, n);
+  std::vector<double> b(n, 0.0);
+  util::LuSolver lu;
+
+  NewtonOutcome out;
+  for (int iter = 0; iter < s.max_iterations; ++iter) {
+    a.fill(0.0);
+    std::fill(b.begin(), b.end(), 0.0);
+    Solution sol(x, num_nodes);
+    StampContext ctx{a, b, sol};
+    ctx.t = s.t;
+    ctx.dt = s.dt;
+    ctx.method = s.method;
+    ctx.gmin = s.gmin;
+    ctx.source_scale = s.source_scale;
+    ctx.first_iteration = (iter == 0);
+    ctx.num_nodes = num_nodes;
+    for (auto& dev : circuit.devices()) dev->stamp(ctx);
+
+    if (!lu.factorize(a)) {
+      out.iterations = iter + 1;
+      return out;  // singular matrix
+    }
+    std::vector<double> x_new = lu.solve(b);
+
+    bool converged = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double tol =
+          s.reltol * std::max(std::fabs(x_new[i]), std::fabs(x[i])) +
+          (i < num_nodes - 1 ? s.vabstol : 1e-9);
+      if (std::fabs(x_new[i] - x[i]) > tol) {
+        converged = false;
+        break;
+      }
+    }
+    x = std::move(x_new);
+    out.iterations = iter + 1;
+    if (converged && iter > 0) {
+      out.converged = true;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+DcResult dc_operating_point(Circuit& circuit, const DcOptions& options) {
+  if (!circuit.finalized()) circuit.finalize();
+  DcResult result;
+  result.x.assign(circuit.num_unknowns(), 0.0);
+
+  NewtonSettings s{};
+  s.max_iterations = options.max_iterations;
+  s.reltol = options.reltol;
+  s.vabstol = options.vabstol;
+  s.gmin = options.gmin;
+
+  // 1) Direct attempt from the zero state.
+  {
+    std::vector<double> x(circuit.num_unknowns(), 0.0);
+    const NewtonOutcome o = newton_solve(circuit, x, s);
+    result.iterations += o.iterations;
+    if (o.converged) {
+      result.converged = true;
+      result.method = "direct";
+      result.x = std::move(x);
+      return result;
+    }
+  }
+
+  // 2) Gmin stepping: solve with a large gmin and tighten by decades,
+  //    reusing the previous stage's solution as the initial guess.
+  if (options.allow_gmin_stepping) {
+    std::vector<double> x(circuit.num_unknowns(), 0.0);
+    bool ok = true;
+    for (double gmin = 1e-3; gmin >= options.gmin * 0.99; gmin *= 0.1) {
+      NewtonSettings stage = s;
+      stage.gmin = std::max(gmin, options.gmin);
+      const NewtonOutcome o = newton_solve(circuit, x, stage);
+      result.iterations += o.iterations;
+      if (!o.converged) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      result.converged = true;
+      result.method = "gmin-step";
+      result.x = std::move(x);
+      return result;
+    }
+  }
+
+  // 3) Source stepping: ramp all independent sources from 10% to 100%.
+  if (options.allow_source_stepping) {
+    std::vector<double> x(circuit.num_unknowns(), 0.0);
+    bool ok = true;
+    for (double scale = 0.1; scale <= 1.0001; scale += 0.1) {
+      NewtonSettings stage = s;
+      stage.source_scale = std::min(scale, 1.0);
+      stage.gmin = std::max(options.gmin, 1e-9);
+      const NewtonOutcome o = newton_solve(circuit, x, stage);
+      result.iterations += o.iterations;
+      if (!o.converged) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      // Final tighten at full sources with the target gmin.
+      const NewtonOutcome o = newton_solve(circuit, x, s);
+      result.iterations += o.iterations;
+      if (o.converged) {
+        result.converged = true;
+        result.method = "source-step";
+        result.x = std::move(x);
+        return result;
+      }
+    }
+  }
+
+  return result;
+}
+
+std::vector<DcResult> dc_sweep(Circuit& circuit,
+                               const std::string& source_name,
+                               const std::vector<double>& values,
+                               const DcOptions& options) {
+  const DeviceId id = circuit.find_device(source_name);
+  if (id < 0) {
+    throw std::invalid_argument("dc_sweep: no such source " + source_name);
+  }
+  auto* source = dynamic_cast<VoltageSource*>(&circuit.device(id));
+  if (source == nullptr) {
+    throw std::invalid_argument("dc_sweep: " + source_name +
+                                " is not a voltage source");
+  }
+  if (!circuit.finalized()) circuit.finalize();
+
+  std::vector<DcResult> results;
+  std::vector<double> warm;
+  for (double v : values) {
+    source->set_value(v);
+    DcResult r;
+    if (!warm.empty()) {
+      // Warm start: one Newton run seeded from the previous point.
+      NewtonSettings s{};
+      s.max_iterations = options.max_iterations;
+      s.reltol = options.reltol;
+      s.vabstol = options.vabstol;
+      s.gmin = options.gmin;
+      std::vector<double> x = warm;
+      const NewtonOutcome o = newton_solve(circuit, x, s);
+      if (o.converged) {
+        r.converged = true;
+        r.method = "warm";
+        r.iterations = o.iterations;
+        r.x = std::move(x);
+      }
+    }
+    if (!r.converged) r = dc_operating_point(circuit, options);
+    if (r.converged) warm = r.x;
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+TranResult transient(Circuit& circuit, double t_stop,
+                     const TranOptions& options) {
+  if (!circuit.finalized()) circuit.finalize();
+  TranResult result;
+
+  // Initial condition: explicit state or DC operating point.
+  std::vector<double> x;
+  if (options.initial_state.has_value()) {
+    x = *options.initial_state;
+    if (x.size() != circuit.num_unknowns()) {
+      result.error = "initial_state size mismatch";
+      return result;
+    }
+  } else {
+    DcOptions dc_opts;
+    dc_opts.gmin = options.gmin;
+    const DcResult dc = dc_operating_point(circuit, dc_opts);
+    if (!dc.converged) {
+      result.error = "DC operating point failed to converge";
+      return result;
+    }
+    x = dc.x;
+  }
+
+  const std::size_t num_nodes = circuit.num_nodes();
+  {
+    Solution sol(x, num_nodes);
+    for (auto& dev : circuit.devices()) dev->reset_state(sol);
+  }
+
+  // Decide what to record.
+  if (options.record_nodes.empty()) {
+    for (NodeId n = 1; n < static_cast<NodeId>(num_nodes); ++n) {
+      result.recorded_nodes.push_back(n);
+    }
+  } else {
+    result.recorded_nodes = options.record_nodes;
+  }
+  result.recorded_devices = options.record_devices;
+  for (std::size_t i = 0; i < circuit.num_devices(); ++i) {
+    const auto id = static_cast<DeviceId>(i);
+    if (dynamic_cast<const VoltageSource*>(&circuit.device(id)) != nullptr &&
+        std::find(result.recorded_devices.begin(),
+                  result.recorded_devices.end(),
+                  id) == result.recorded_devices.end()) {
+      result.recorded_devices.push_back(id);
+    }
+  }
+  result.node_values.assign(result.recorded_nodes.size(), {});
+  result.device_values.assign(result.recorded_devices.size(), {});
+
+  auto record = [&](double t, const std::vector<double>& state) {
+    Solution sol(state, num_nodes);
+    result.time.push_back(t);
+    for (std::size_t i = 0; i < result.recorded_nodes.size(); ++i) {
+      result.node_values[i].push_back(sol.v(result.recorded_nodes[i]));
+    }
+    for (std::size_t i = 0; i < result.recorded_devices.size(); ++i) {
+      result.device_values[i].push_back(
+          circuit.device(result.recorded_devices[i]).probe_current(sol));
+    }
+  };
+  record(0.0, x);
+
+  std::vector<double> breakpoints = circuit.source_breakpoints(t_stop);
+  std::size_t bp_index = 0;
+
+  double t = 0.0;
+  double dt = options.dt_initial;
+  bool after_discontinuity = true;  // start with backward Euler
+
+  while (t < t_stop - 1e-18) {
+    dt = std::min({dt, options.dt_max, t_stop - t});
+    // Land exactly on the next source breakpoint.
+    bool hitting_breakpoint = false;
+    while (bp_index < breakpoints.size() && breakpoints[bp_index] <= t + 1e-18) {
+      ++bp_index;
+    }
+    if (bp_index < breakpoints.size() &&
+        breakpoints[bp_index] < t + dt - 1e-18) {
+      dt = breakpoints[bp_index] - t;
+      hitting_breakpoint = true;
+    } else if (bp_index < breakpoints.size() &&
+               breakpoints[bp_index] <= t + dt + 1e-18) {
+      hitting_breakpoint = true;
+    }
+
+    // Attempt the step, halving on failure.
+    bool accepted = false;
+    while (!accepted) {
+      std::vector<double> x_try = x;
+      NewtonSettings s{};
+      s.max_iterations = options.max_newton;
+      s.reltol = options.reltol;
+      s.vabstol = options.vabstol;
+      s.gmin = options.gmin;
+      s.t = t + dt;
+      s.dt = dt;
+      s.method = (!options.use_trapezoidal || after_discontinuity)
+                     ? Integration::kBackwardEuler
+                     : Integration::kTrapezoidal;
+      const NewtonOutcome o = newton_solve(circuit, x_try, s);
+      result.newton_iterations += static_cast<std::size_t>(o.iterations);
+
+      // Accuracy control: largest node-voltage change this step.
+      double dv = 0.0;
+      if (o.converged) {
+        for (std::size_t i = 0; i + 1 < num_nodes; ++i) {
+          dv = std::max(dv, std::fabs(x_try[i] - x[i]));
+        }
+      }
+      if (o.converged && (dv <= options.dv_max || dt <= options.dt_min)) {
+        // Accept.
+        t += dt;
+        x = std::move(x_try);
+        Solution sol(x, num_nodes);
+        for (auto& dev : circuit.devices()) dev->commit(sol, t, dt);
+        record(t, x);
+        ++result.steps_accepted;
+        after_discontinuity = hitting_breakpoint;
+        if (o.iterations <= 10 && dv < 0.5 * options.dv_max) {
+          dt *= 1.5;
+        }
+        accepted = true;
+      } else {
+        ++result.steps_rejected;
+        if (dt <= options.dt_min) {
+          result.error = "transient step failed at minimum timestep, t=" +
+                         std::to_string(t);
+          return result;
+        }
+        dt = std::max(dt * 0.5, options.dt_min);
+        hitting_breakpoint = false;
+        after_discontinuity = true;  // retry conservatively with BE
+      }
+    }
+  }
+
+  result.final_state = x;
+  result.ok = true;
+  return result;
+}
+
+util::Waveform TranResult::node_waveform(NodeId n) const {
+  for (std::size_t i = 0; i < recorded_nodes.size(); ++i) {
+    if (recorded_nodes[i] == n) {
+      util::Waveform w;
+      for (std::size_t k = 0; k < time.size(); ++k) {
+        w.append(time[k], node_values[i][k]);
+      }
+      return w;
+    }
+  }
+  throw std::out_of_range("TranResult::node_waveform: node not recorded");
+}
+
+util::Waveform TranResult::device_waveform(DeviceId d) const {
+  for (std::size_t i = 0; i < recorded_devices.size(); ++i) {
+    if (recorded_devices[i] == d) {
+      util::Waveform w;
+      for (std::size_t k = 0; k < time.size(); ++k) {
+        w.append(time[k], device_values[i][k]);
+      }
+      return w;
+    }
+  }
+  throw std::out_of_range("TranResult::device_waveform: device not recorded");
+}
+
+util::Waveform supply_current(const Circuit& circuit, const TranResult& result,
+                              const std::string& vsource_name) {
+  const DeviceId id = circuit.find_device(vsource_name);
+  if (id < 0) {
+    throw std::invalid_argument("supply_current: no such source " +
+                                vsource_name);
+  }
+  // The MNA branch current is the current flowing from + through the source;
+  // a supply delivering current to the circuit therefore probes negative.
+  return result.device_waveform(id).scaled(-1.0);
+}
+
+}  // namespace pgmcml::spice

@@ -1,0 +1,283 @@
+// Circuit netlist and device stamping for modified nodal analysis (MNA).
+//
+// The unknown vector of the MNA system is
+//   x = [ V(1) ... V(N-1) | I(branch of each voltage source) ]
+// with node 0 fixed at ground.  Devices contribute to the Jacobian A and
+// right-hand side b through `Device::stamp`; nonlinear devices linearize
+// around the current Newton iterate, reactive devices around the previous
+// accepted timestep via companion models.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pgmcml/spice/mosfet.hpp"
+#include "pgmcml/spice/source.hpp"
+#include "pgmcml/util/matrix.hpp"
+
+namespace pgmcml::spice {
+
+using NodeId = std::int32_t;
+using DeviceId = std::int32_t;
+
+inline constexpr NodeId kGround = 0;
+
+enum class Integration { kNone, kBackwardEuler, kTrapezoidal };
+
+/// View of the current solution candidate during stamping / probing.
+class Solution {
+ public:
+  Solution(const std::vector<double>& x, std::size_t num_nodes)
+      : x_(x), num_nodes_(num_nodes) {}
+
+  /// Node voltage (ground reads 0).
+  double v(NodeId n) const { return n == kGround ? 0.0 : x_[n - 1]; }
+  /// Branch current unknown at `index` (offset into the branch block).
+  double branch(std::size_t index) const { return x_[num_nodes_ - 1 + index]; }
+
+ private:
+  const std::vector<double>& x_;
+  std::size_t num_nodes_;
+};
+
+/// Stamping context handed to each device once per Newton iteration.
+struct StampContext {
+  util::Matrix& A;
+  std::vector<double>& b;
+  const Solution& x;     ///< current Newton iterate
+  double t = 0.0;        ///< time of the step being solved
+  double dt = 0.0;       ///< step size; 0 for DC analyses
+  Integration method = Integration::kNone;
+  double gmin = 1e-12;   ///< convergence conductance across nonlinear devices
+  double source_scale = 1.0;     ///< independent-source ramp (source stepping)
+  bool first_iteration = false;  ///< first Newton iteration of this step
+
+  // Index helpers: row/col of a node (ground is absorbed), of a branch.
+  std::size_t num_nodes;  ///< including ground
+  bool node_valid(NodeId n) const { return n != kGround; }
+  std::size_t node_index(NodeId n) const { return static_cast<std::size_t>(n - 1); }
+  std::size_t branch_index(std::size_t branch) const {
+    return num_nodes - 1 + branch;
+  }
+
+  /// A[r,c] += g for node pair (absorbing ground).
+  void add(NodeId r, NodeId c, double g) {
+    if (r == kGround || c == kGround) return;
+    A.at(node_index(r), node_index(c)) += g;
+  }
+  /// b[r] += i.
+  void rhs(NodeId r, double i) {
+    if (r == kGround) return;
+    b[node_index(r)] += i;
+  }
+  /// Conductance stamp between two nodes.
+  void conductance(NodeId a, NodeId bnode, double g) {
+    add(a, a, g);
+    add(bnode, bnode, g);
+    add(a, bnode, -g);
+    add(bnode, a, -g);
+  }
+  /// Current source stamp: `i` flows from node `from` into node `to`.
+  void current(NodeId from, NodeId to, double i) {
+    rhs(from, -i);
+    rhs(to, i);
+  }
+};
+
+/// Base class for all circuit elements.
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Number of extra branch-current unknowns this device introduces.
+  virtual int extra_unknowns() const { return 0; }
+  /// Called once after circuit finalization with this device's first branch
+  /// unknown offset (only if extra_unknowns() > 0).
+  virtual void set_branch_offset(std::size_t /*offset*/) {}
+
+  /// Adds this device's contribution to the MNA system.
+  virtual void stamp(StampContext& ctx) = 0;
+
+  /// Accepts the step: update internal integration/limiting state.
+  virtual void commit(const Solution& x, double t, double dt);
+
+  /// Resets integration state (before a new analysis).
+  virtual void reset_state(const Solution& x);
+
+  /// Current flowing through the device at the committed solution
+  /// (device-specific reference direction), for probing.
+  virtual double probe_current(const Solution& x) const { (void)x; return 0.0; }
+
+  /// True if this device is nonlinear (participates in NR limiting).
+  virtual bool nonlinear() const { return false; }
+
+  /// Terminal nodes in device order (R/C/V/I: two; MOSFET: d, g, s, b).
+  virtual std::vector<NodeId> terminals() const = 0;
+
+ private:
+  std::string name_;
+};
+
+// --- concrete devices ------------------------------------------------------
+
+class Resistor final : public Device {
+ public:
+  Resistor(std::string name, NodeId a, NodeId b, double ohms);
+  void stamp(StampContext& ctx) override;
+  double probe_current(const Solution& x) const override;
+  std::vector<NodeId> terminals() const override { return {a_, b_}; }
+  double resistance() const { return r_; }
+
+ private:
+  NodeId a_, b_;
+  double r_;
+};
+
+class Capacitor final : public Device {
+ public:
+  Capacitor(std::string name, NodeId a, NodeId b, double farads,
+            double initial_voltage = 0.0);
+  void stamp(StampContext& ctx) override;
+  void commit(const Solution& x, double t, double dt) override;
+  void reset_state(const Solution& x) override;
+  double probe_current(const Solution& x) const override;
+  std::vector<NodeId> terminals() const override { return {a_, b_}; }
+  double capacitance() const { return c_; }
+
+ private:
+  NodeId a_, b_;
+  double c_;
+  double v_prev_ = 0.0;  ///< voltage at last accepted step
+  double i_prev_ = 0.0;  ///< current at last accepted step
+  double geq_ = 0.0;     ///< companion conductance of the pending step
+  double ieq_ = 0.0;     ///< companion current of the pending step
+};
+
+class VoltageSource final : public Device {
+ public:
+  VoltageSource(std::string name, NodeId pos, NodeId neg, SourceSpec spec);
+  int extra_unknowns() const override { return 1; }
+  void set_branch_offset(std::size_t offset) override { branch_ = offset; }
+  void stamp(StampContext& ctx) override;
+  /// Current flowing out of the + terminal through the source (so a supply
+  /// delivering current to the circuit probes negative by MNA convention;
+  /// see Circuit::supply_current for the conventional sign).
+  double probe_current(const Solution& x) const override;
+  std::vector<NodeId> terminals() const override { return {pos_, neg_}; }
+  const SourceSpec& spec() const { return spec_; }
+  /// Replaces the source with a DC value (used by dc_sweep).
+  void set_value(double v) { spec_ = SourceSpec::dc(v); }
+  std::size_t branch() const { return branch_; }
+
+ private:
+  NodeId pos_, neg_;
+  SourceSpec spec_;
+  std::size_t branch_ = 0;
+};
+
+class CurrentSource final : public Device {
+ public:
+  /// Current flows from `pos` through the source to `neg` (SPICE convention:
+  /// positive value pulls current out of `pos` node).
+  CurrentSource(std::string name, NodeId pos, NodeId neg, SourceSpec spec);
+  void stamp(StampContext& ctx) override;
+  double probe_current(const Solution& x) const override;
+  std::vector<NodeId> terminals() const override { return {pos_, neg_}; }
+  const SourceSpec& spec() const { return spec_; }
+
+ private:
+  NodeId pos_, neg_;
+  SourceSpec spec_;
+};
+
+class Mosfet final : public Device {
+ public:
+  Mosfet(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
+         MosParams params);
+  void stamp(StampContext& ctx) override;
+  void commit(const Solution& x, double t, double dt) override;
+  void reset_state(const Solution& x) override;
+  /// Drain current (positive into the drain for NMOS conduction d->s).
+  double probe_current(const Solution& x) const override;
+  bool nonlinear() const override { return true; }
+  std::vector<NodeId> terminals() const override { return {d_, g_, s_, b_}; }
+  const MosParams& params() const { return params_; }
+
+ private:
+  /// Voltage limiting between Newton iterates (SPICE-style damping).
+  double limited(double v_new, double v_old) const;
+
+  NodeId d_, g_, s_, b_;
+  MosParams params_;
+  // Previous iterate voltages for NR limiting.
+  double vgs_iter_ = 0.0;
+  double vds_iter_ = 0.0;
+  bool have_iter_ = false;
+};
+
+// --- the netlist ------------------------------------------------------------
+
+class Circuit {
+ public:
+  Circuit();
+
+  /// Returns the node with this name, creating it if needed.
+  NodeId node(const std::string& name);
+  /// Creates a fresh unnamed internal node.
+  NodeId internal_node(const std::string& hint = "n");
+  NodeId gnd() const { return kGround; }
+  std::size_t num_nodes() const { return node_names_.size(); }
+  const std::string& node_name(NodeId n) const { return node_names_.at(n); }
+  /// Looks up an existing node by name; returns -1 if absent.
+  NodeId find_node(const std::string& name) const;
+
+  DeviceId add_resistor(const std::string& name, NodeId a, NodeId b,
+                        double ohms);
+  DeviceId add_capacitor(const std::string& name, NodeId a, NodeId b,
+                         double farads, double initial_voltage = 0.0);
+  DeviceId add_vsource(const std::string& name, NodeId pos, NodeId neg,
+                       SourceSpec spec);
+  DeviceId add_isource(const std::string& name, NodeId pos, NodeId neg,
+                       SourceSpec spec);
+  DeviceId add_mosfet(const std::string& name, NodeId d, NodeId g, NodeId s,
+                      NodeId b, const MosParams& params);
+
+  std::size_t num_devices() const { return devices_.size(); }
+  Device& device(DeviceId id) { return *devices_.at(id); }
+  const Device& device(DeviceId id) const { return *devices_.at(id); }
+  /// Finds a device by name; returns -1 if absent.
+  DeviceId find_device(const std::string& name) const;
+
+  /// Number of MNA unknowns (nodes-1 + branch currents).
+  std::size_t num_unknowns() const;
+  /// Assigns branch offsets; called automatically by the engine.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  /// All source breakpoints in (0, t_stop) merged and sorted.
+  std::vector<double> source_breakpoints(double t_stop) const;
+
+  /// Device count of a given dynamic type (diagnostics).
+  std::size_t count_mosfets() const;
+
+  std::vector<std::unique_ptr<Device>>& devices() { return devices_; }
+  const std::vector<std::unique_ptr<Device>>& devices() const {
+    return devices_;
+  }
+
+ private:
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, NodeId> node_index_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::unordered_map<std::string, DeviceId> device_index_;
+  bool finalized_ = false;
+  int anon_counter_ = 0;
+};
+
+}  // namespace pgmcml::spice

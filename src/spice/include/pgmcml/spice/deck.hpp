@@ -1,0 +1,17 @@
+// SPICE-deck export of a Circuit: renders the in-memory netlist as a
+// conventional .sp file (devices, sources, models) so a generated cell can
+// be inspected or re-simulated in an external simulator.
+#pragma once
+
+#include <string>
+
+#include "pgmcml/spice/circuit.hpp"
+
+namespace pgmcml::spice {
+
+/// Renders the circuit as a SPICE deck.  MOSFETs reference per-flavor
+/// .model cards emitted at the end (level-1-style parameter mapping).
+std::string to_spice_deck(const Circuit& circuit,
+                          const std::string& title = "pgmcml circuit");
+
+}  // namespace pgmcml::spice

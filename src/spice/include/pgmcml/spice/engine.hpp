@@ -1,0 +1,100 @@
+// Analysis engines: Newton-Raphson DC operating point (with gmin stepping
+// and source stepping fallbacks) and adaptive-step transient analysis
+// (backward-Euler startup, trapezoidal steady integration, breakpoints at
+// source corners, step control from Newton convergence and per-node dV).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pgmcml/spice/circuit.hpp"
+#include "pgmcml/util/waveform.hpp"
+
+namespace pgmcml::spice {
+
+struct DcOptions {
+  int max_iterations = 200;
+  double reltol = 1e-4;
+  double vabstol = 1e-7;   ///< volts
+  double gmin = 1e-12;     ///< final gmin [S]
+  bool allow_gmin_stepping = true;
+  bool allow_source_stepping = true;
+};
+
+struct DcResult {
+  bool converged = false;
+  int iterations = 0;
+  std::string method;  ///< "direct", "gmin-step", "source-step"
+  std::vector<double> x;
+
+  double v(const Circuit& c, NodeId n) const {
+    Solution sol(x, c.num_nodes());
+    return sol.v(n);
+  }
+};
+
+struct TranOptions {
+  double dt_min = 1e-15;
+  double dt_max = 20e-12;
+  double dt_initial = 1e-13;
+  double dv_max = 0.12;  ///< reject steps where any node moves more than this
+  int max_newton = 60;
+  double reltol = 1e-4;
+  double vabstol = 1e-6;
+  double gmin = 1e-12;
+  bool use_trapezoidal = true;
+  /// Record every accepted point for these nodes only (empty = all nodes).
+  std::vector<NodeId> record_nodes;
+  /// Record probe currents for these devices (always includes all vsources).
+  std::vector<DeviceId> record_devices;
+  /// Optional externally supplied initial condition (from a prior DC).
+  std::optional<std::vector<double>> initial_state;
+};
+
+struct TranResult {
+  bool ok = false;
+  std::string error;
+  std::size_t steps_accepted = 0;
+  std::size_t steps_rejected = 0;
+  std::size_t newton_iterations = 0;
+
+  std::vector<double> time;
+  /// Recorded node voltages, indexed like `recorded_nodes`.
+  std::vector<NodeId> recorded_nodes;
+  std::vector<std::vector<double>> node_values;  ///< [node][step]
+  /// Recorded device currents, indexed like `recorded_devices`.
+  std::vector<DeviceId> recorded_devices;
+  std::vector<std::vector<double>> device_values;  ///< [device][step]
+
+  /// Waveform of a recorded node's voltage.
+  util::Waveform node_waveform(NodeId n) const;
+  /// Waveform of a recorded device's probe current.
+  util::Waveform device_waveform(DeviceId d) const;
+  /// Final solution vector (for chaining analyses).
+  std::vector<double> final_state;
+};
+
+/// Computes the DC operating point.
+DcResult dc_operating_point(Circuit& circuit, const DcOptions& options = {});
+
+/// DC sweep: re-solves the operating point for each value of a named DC
+/// voltage source, warm-starting each solve from the previous solution
+/// (the standard .dc analysis).  The source must be a DC VoltageSource.
+std::vector<DcResult> dc_sweep(Circuit& circuit,
+                               const std::string& source_name,
+                               const std::vector<double>& values,
+                               const DcOptions& options = {});
+
+/// Runs a transient analysis over [0, t_stop], starting from the DC
+/// operating point (or `options.initial_state` when provided).
+TranResult transient(Circuit& circuit, double t_stop,
+                     const TranOptions& options = {});
+
+/// Convenience: current delivered by a named voltage source (conventional
+/// sign: positive = source delivers current from its + terminal into the
+/// circuit), as a waveform over the recorded transient.
+util::Waveform supply_current(const Circuit& circuit, const TranResult& result,
+                              const std::string& vsource_name);
+
+}  // namespace pgmcml::spice

@@ -1,0 +1,60 @@
+// Synthetic 90 nm CMOS technology: device parameter sets (low-Vt / high-Vt,
+// NMOS / PMOS), process corners, and Monte-Carlo mismatch sampling.
+//
+// The paper's library is built on a commercial 90 nm PDK we do not have;
+// these parameters are textbook-plausible values for a generic 90 nm node.
+// Absolute delays/powers will differ from the paper's, but every trend the
+// paper reports (swing = Iss*R, delay-vs-Iss saturation, high-Vt leakage
+// advantage, sleep-transistor cutoff) is a topology property preserved here.
+#pragma once
+
+#include <string>
+
+#include "pgmcml/spice/mosfet.hpp"
+#include "pgmcml/util/rng.hpp"
+
+namespace pgmcml::spice {
+
+enum class Corner { kTypical, kFast, kSlow };
+enum class VtFlavor { kLowVt, kHighVt };
+
+std::string to_string(Corner corner);
+std::string to_string(VtFlavor flavor);
+
+class Technology {
+ public:
+  explicit Technology(Corner corner = Corner::kTypical);
+
+  double vdd() const { return vdd_; }
+  double lmin() const { return lmin_; }
+  Corner corner() const { return corner_; }
+
+  /// Nominal device parameters for a given polarity/flavor and W/L.
+  MosParams nmos(VtFlavor flavor, double w, double l = 0.0) const;
+  MosParams pmos(VtFlavor flavor, double w, double l = 0.0) const;
+
+  /// Applies pelgrom-style random mismatch to a nominal device:
+  /// sigma(Vth) = avt / sqrt(W*L), sigma(kp)/kp = akp / sqrt(W*L).
+  MosParams with_mismatch(const MosParams& nominal, util::Rng& rng) const;
+
+  /// Pelgrom coefficient for Vth mismatch [V*m].
+  double avt() const { return avt_; }
+  /// Relative kp mismatch coefficient [m].
+  double akp() const { return akp_; }
+
+ private:
+  Corner corner_;
+  double vdd_ = 1.2;
+  double lmin_ = 0.1e-6;
+  double avt_ = 3.5e-9;   // 3.5 mV*um
+  double akp_ = 1.0e-9;   // 1 %*um
+  // Corner-adjusted base parameters.
+  double kp_n_ = 0.0;
+  double kp_p_ = 0.0;
+  double vth_n_lvt_ = 0.0;
+  double vth_n_hvt_ = 0.0;
+  double vth_p_lvt_ = 0.0;
+  double vth_p_hvt_ = 0.0;
+};
+
+}  // namespace pgmcml::spice

@@ -1,0 +1,108 @@
+#include "pgmcml/spice/source.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pgmcml/util/stats.hpp"
+
+namespace pgmcml::spice {
+
+SourceSpec SourceSpec::dc(double value) {
+  SourceSpec s;
+  s.kind_ = Kind::kDc;
+  s.v0_ = value;
+  return s;
+}
+
+SourceSpec SourceSpec::pulse(double v0, double v1, double delay, double t_rise,
+                             double t_fall, double width, double period) {
+  SourceSpec s;
+  s.kind_ = Kind::kPulse;
+  s.v0_ = v0;
+  s.v1_ = v1;
+  s.delay_ = delay;
+  s.t_rise_ = std::max(t_rise, 1e-15);
+  s.t_fall_ = std::max(t_fall, 1e-15);
+  s.width_ = width;
+  s.period_ = period;
+  return s;
+}
+
+SourceSpec SourceSpec::pwl(std::vector<std::pair<double, double>> points) {
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i].first < points[i - 1].first) {
+      throw std::invalid_argument("SourceSpec::pwl: points must be time-sorted");
+    }
+  }
+  SourceSpec s;
+  s.kind_ = Kind::kPwl;
+  s.points_ = std::move(points);
+  return s;
+}
+
+double SourceSpec::value(double t) const {
+  switch (kind_) {
+    case Kind::kDc:
+      return v0_;
+    case Kind::kPulse: {
+      if (t < delay_) return v0_;
+      double local = t - delay_;
+      if (period_ > 0.0) local = std::fmod(local, period_);
+      if (local < t_rise_) {
+        return v0_ + (v1_ - v0_) * local / t_rise_;
+      }
+      if (local < t_rise_ + width_) return v1_;
+      if (local < t_rise_ + width_ + t_fall_) {
+        return v1_ + (v0_ - v1_) * (local - t_rise_ - width_) / t_fall_;
+      }
+      return v0_;
+    }
+    case Kind::kPwl: {
+      if (points_.empty()) return 0.0;
+      if (t <= points_.front().first) return points_.front().second;
+      if (t >= points_.back().first) return points_.back().second;
+      auto it = std::upper_bound(
+          points_.begin(), points_.end(), t,
+          [](double time, const std::pair<double, double>& p) {
+            return time < p.first;
+          });
+      const auto& hi = *it;
+      const auto& lo = *(it - 1);
+      return util::lerp(lo.first, lo.second, hi.first, hi.second, t);
+    }
+  }
+  return 0.0;
+}
+
+std::vector<double> SourceSpec::breakpoints(double t_stop) const {
+  std::vector<double> out;
+  switch (kind_) {
+    case Kind::kDc:
+      break;
+    case Kind::kPulse: {
+      const double cycle_corners[4] = {0.0, t_rise_, t_rise_ + width_,
+                                       t_rise_ + width_ + t_fall_};
+      const double period =
+          period_ > 0.0 ? period_ : (t_stop + 1.0);  // single shot
+      for (double base = delay_; base < t_stop; base += period) {
+        for (double corner : cycle_corners) {
+          const double t = base + corner;
+          if (t > 0.0 && t < t_stop) out.push_back(t);
+        }
+        if (period_ <= 0.0) break;
+      }
+      break;
+    }
+    case Kind::kPwl:
+      for (const auto& [t, v] : points_) {
+        (void)v;
+        if (t > 0.0 && t < t_stop) out.push_back(t);
+      }
+      break;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pgmcml::spice

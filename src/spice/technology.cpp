@@ -1,0 +1,98 @@
+#include "pgmcml/spice/technology.hpp"
+
+#include <cmath>
+
+namespace pgmcml::spice {
+
+std::string to_string(Corner corner) {
+  switch (corner) {
+    case Corner::kTypical: return "TT";
+    case Corner::kFast: return "FF";
+    case Corner::kSlow: return "SS";
+  }
+  return "?";
+}
+
+std::string to_string(VtFlavor flavor) {
+  return flavor == VtFlavor::kLowVt ? "LVT" : "HVT";
+}
+
+Technology::Technology(Corner corner) : corner_(corner) {
+  // Generic 90 nm bulk CMOS numbers (textbook-plausible; see header note).
+  double kp_n = 330e-6;  // A/V^2
+  double kp_p = 120e-6;
+  double vth_n_lvt = 0.22;
+  double vth_n_hvt = 0.35;
+  double vth_p_lvt = 0.24;
+  double vth_p_hvt = 0.37;
+
+  switch (corner_) {
+    case Corner::kTypical:
+      break;
+    case Corner::kFast:
+      kp_n *= 1.12;
+      kp_p *= 1.12;
+      vth_n_lvt -= 0.04;
+      vth_n_hvt -= 0.04;
+      vth_p_lvt -= 0.04;
+      vth_p_hvt -= 0.04;
+      vdd_ = 1.32;
+      break;
+    case Corner::kSlow:
+      kp_n *= 0.88;
+      kp_p *= 0.88;
+      vth_n_lvt += 0.04;
+      vth_n_hvt += 0.04;
+      vth_p_lvt += 0.04;
+      vth_p_hvt += 0.04;
+      vdd_ = 1.08;
+      break;
+  }
+  kp_n_ = kp_n;
+  kp_p_ = kp_p;
+  vth_n_lvt_ = vth_n_lvt;
+  vth_n_hvt_ = vth_n_hvt;
+  vth_p_lvt_ = vth_p_lvt;
+  vth_p_hvt_ = vth_p_hvt;
+}
+
+MosParams Technology::nmos(VtFlavor flavor, double w, double l) const {
+  MosParams p;
+  p.is_nmos = true;
+  p.w = w;
+  p.l = l > 0.0 ? l : lmin_;
+  p.vth0 = flavor == VtFlavor::kLowVt ? vth_n_lvt_ : vth_n_hvt_;
+  p.kp = kp_n_;
+  p.lambda = 0.15;
+  p.n_sub = flavor == VtFlavor::kLowVt ? 1.45 : 1.35;
+  p.gamma = 0.30;
+  p.phi = 0.80;
+  return p;
+}
+
+MosParams Technology::pmos(VtFlavor flavor, double w, double l) const {
+  MosParams p;
+  p.is_nmos = false;
+  p.w = w;
+  p.l = l > 0.0 ? l : lmin_;
+  p.vth0 = flavor == VtFlavor::kLowVt ? vth_p_lvt_ : vth_p_hvt_;
+  p.kp = kp_p_;
+  p.lambda = 0.20;
+  p.n_sub = flavor == VtFlavor::kLowVt ? 1.50 : 1.40;
+  p.gamma = 0.35;
+  p.phi = 0.80;
+  return p;
+}
+
+MosParams Technology::with_mismatch(const MosParams& nominal,
+                                    util::Rng& rng) const {
+  MosParams p = nominal;
+  const double area = std::sqrt(p.w * p.l);
+  const double sigma_vth = avt_ / area;
+  const double sigma_kp_rel = akp_ / area;
+  p.vth0 += rng.gaussian(0.0, sigma_vth);
+  p.kp *= std::max(0.5, 1.0 + rng.gaussian(0.0, sigma_kp_rel));
+  return p;
+}
+
+}  // namespace pgmcml::spice

@@ -1,0 +1,37 @@
+// Technology mapping: lowers a Module DAG onto the 16-cell library.
+//
+// The mapper does what Design Compiler did in the paper's flow, scaled to
+// this cell set:
+//   * collapses single-fanout AND/XOR trees into AND3/AND4/XOR3/XOR4,
+//   * fuses mux trees into MUX4, recognizes MAJ -> MAJ32, XOR+MAJ -> FA,
+//   * maps flops (plain/reset/enable) onto DFF/DFFR/EDFF,
+//   * handles complemented literals per logic style: differential MCML
+//     reads either phase for free (recorded as input_inverted flags, i.e.
+//     the fat-wire pair is simply swapped); static CMOS pays real inverter
+//     cells, which is why the CMOS netlist of Table 3 has more cells than
+//     the MCML one.
+#pragma once
+
+#include "pgmcml/cells/library.hpp"
+#include "pgmcml/netlist/design.hpp"
+#include "pgmcml/synth/module.hpp"
+
+namespace pgmcml::synth {
+
+struct MapOptions {
+  /// Collapse multi-input AND/XOR/MUX patterns (off = 2-input cells only,
+  /// for the mapping ablation).
+  bool collapse = true;
+};
+
+struct MapResult {
+  netlist::Design design;
+  std::size_t inverters = 0;  ///< inverter cells inserted (CMOS only)
+  std::size_t cells = 0;      ///< total instances including inverters
+};
+
+/// Maps `module` for the given library's logic style.
+MapResult map_module(const Module& module, const cells::CellLibrary& library,
+                     const MapOptions& options = {});
+
+}  // namespace pgmcml::synth

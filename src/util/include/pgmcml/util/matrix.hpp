@@ -1,0 +1,60 @@
+// Dense linear algebra sized for modified nodal analysis.
+//
+// Circuit matrices in this project are small (tens to a few hundred
+// unknowns) and re-factored on every Newton iteration, so a straightforward
+// dense LU with partial pivoting is both simple and fast enough.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pgmcml::util {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  void fill(double value);
+  void resize(std::size_t rows, std::size_t cols);
+
+  /// data in row-major order.
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting; reusable across solves.
+class LuSolver {
+ public:
+  /// Factorizes `a` in place (a copy is kept internally).
+  /// Returns false if the matrix is numerically singular.
+  bool factorize(const Matrix& a);
+
+  /// Solves LUx = b for x; `factorize` must have succeeded first.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// One-shot convenience: solve a x = b.  Returns empty vector on failure.
+  static std::vector<double> solve(const Matrix& a, std::span<const double> b);
+
+  std::size_t dimension() const { return lu_.rows(); }
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> pivots_;
+  bool ok_ = false;
+};
+
+}  // namespace pgmcml::util

@@ -1,0 +1,54 @@
+// SI unit helpers.  All internal quantities are plain doubles in base SI
+// units (seconds, volts, amperes, farads, ohms, watts, square metres); these
+// constants make construction sites and printouts self-documenting.
+#pragma once
+
+#include <string>
+
+namespace pgmcml::util {
+
+// --- scale factors -------------------------------------------------------
+inline constexpr double kilo = 1e3;
+inline constexpr double mega = 1e6;
+inline constexpr double milli = 1e-3;
+inline constexpr double micro = 1e-6;
+inline constexpr double nano = 1e-9;
+inline constexpr double pico = 1e-12;
+inline constexpr double femto = 1e-15;
+inline constexpr double atto = 1e-18;
+
+// --- common electrical shorthands ----------------------------------------
+inline constexpr double volt = 1.0;
+inline constexpr double ampere = 1.0;
+inline constexpr double ohm = 1.0;
+inline constexpr double second = 1.0;
+inline constexpr double farad = 1.0;
+inline constexpr double watt = 1.0;
+
+inline constexpr double mV = milli;
+inline constexpr double uA = micro;
+inline constexpr double mA = milli;
+inline constexpr double nA = nano;
+inline constexpr double pA = pico;
+inline constexpr double kohm = kilo;
+inline constexpr double ns = nano;
+inline constexpr double ps = pico;
+inline constexpr double fF = femto;
+inline constexpr double pF = pico;
+inline constexpr double uW = micro;
+inline constexpr double mW = milli;
+inline constexpr double nW = nano;
+inline constexpr double um = micro;           // metres
+inline constexpr double um2 = micro * micro;  // square metres
+
+/// Physical constants used by the device models.
+inline constexpr double kBoltzmann = 1.380649e-23;  // J/K
+inline constexpr double kElectronCharge = 1.602176634e-19;  // C
+/// Thermal voltage kT/q at 300 K.
+inline constexpr double kThermalVoltage300K = 0.025852;  // V
+
+/// Formats a value with an engineering SI prefix, e.g. 4.777e-5 -> "47.77u".
+std::string si_string(double value, const std::string& unit = "",
+                      int significant_digits = 4);
+
+}  // namespace pgmcml::util

@@ -1,0 +1,97 @@
+#include "pgmcml/util/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pgmcml::util {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+void Matrix::fill(double value) {
+  for (double& x : data_) x = value;
+}
+
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
+bool LuSolver::factorize(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("LuSolver: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  lu_ = a;
+  pivots_.resize(n);
+  ok_ = true;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: find the largest magnitude in column k.
+    std::size_t pivot = k;
+    double best = std::fabs(lu_.at(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::fabs(lu_.at(r, k));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    pivots_[k] = pivot;
+    if (best < 1e-300) {
+      ok_ = false;
+      return false;
+    }
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_.at(k, c), lu_.at(pivot, c));
+      }
+    }
+    const double inv_diag = 1.0 / lu_.at(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_.at(r, k) * inv_diag;
+      lu_.at(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        lu_.at(r, c) -= factor * lu_.at(k, c);
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<double> LuSolver::solve(std::span<const double> b) const {
+  const std::size_t n = lu_.rows();
+  if (!ok_ || b.size() != n) {
+    throw std::logic_error("LuSolver::solve called without valid factorization");
+  }
+  std::vector<double> x(b.begin(), b.end());
+  // Factorization swapped full rows (LAPACK convention), so the entire
+  // permutation must be applied to the RHS before substitution begins.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (pivots_[k] != k) std::swap(x[k], x[pivots_[k]]);
+  }
+  // Forward substitution with unit-diagonal L.
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t r = k + 1; r < n; ++r) {
+      x[r] -= lu_.at(r, k) * x[k];
+    }
+  }
+  // Back substitution.
+  for (std::size_t k = n; k-- > 0;) {
+    for (std::size_t c = k + 1; c < n; ++c) {
+      x[k] -= lu_.at(k, c) * x[c];
+    }
+    x[k] /= lu_.at(k, k);
+  }
+  return x;
+}
+
+std::vector<double> LuSolver::solve(const Matrix& a, std::span<const double> b) {
+  LuSolver solver;
+  if (!solver.factorize(a)) return {};
+  return solver.solve(b);
+}
+
+}  // namespace pgmcml::util

@@ -1,0 +1,118 @@
+#include "pgmcml/cells/library.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pgmcml::cells {
+namespace {
+
+using mcml::CellKind;
+
+TEST(Library, AllThreeStylesProvideSixteenCells) {
+  for (const CellLibrary& lib :
+       {CellLibrary::cmos90(), CellLibrary::mcml90(), CellLibrary::pgmcml90()}) {
+    EXPECT_EQ(lib.cells().size(), 16u) << lib.name();
+    for (CellKind k : mcml::all_cells()) {
+      EXPECT_NO_THROW(lib.cell(k)) << lib.name();
+    }
+  }
+}
+
+TEST(Library, StyleFlags) {
+  EXPECT_FALSE(CellLibrary::cmos90().has_static_current());
+  EXPECT_TRUE(CellLibrary::mcml90().has_static_current());
+  EXPECT_TRUE(CellLibrary::pgmcml90().has_static_current());
+  EXPECT_FALSE(CellLibrary::cmos90().power_gated());
+  EXPECT_FALSE(CellLibrary::mcml90().power_gated());
+  EXPECT_TRUE(CellLibrary::pgmcml90().power_gated());
+  EXPECT_FALSE(CellLibrary::cmos90().free_inversion());
+  EXPECT_TRUE(CellLibrary::mcml90().free_inversion());
+}
+
+TEST(Library, McmlStaticCurrentIsStagesTimesIss) {
+  const CellLibrary lib = CellLibrary::mcml90();
+  for (CellKind k : mcml::all_cells()) {
+    const StdCell& c = lib.cell(k);
+    EXPECT_NEAR(c.static_current, c.stages * 50e-6, 1e-9) << c.name;
+    EXPECT_DOUBLE_EQ(c.switch_energy, 0.0) << c.name;
+  }
+}
+
+TEST(Library, PgSleepCurrentOrdersOfMagnitudeBelowActive) {
+  const CellLibrary lib = CellLibrary::pgmcml90();
+  for (CellKind k : mcml::all_cells()) {
+    const StdCell& c = lib.cell(k);
+    EXPECT_LT(c.sleep_current, c.static_current * 1e-3) << c.name;
+    EXPECT_GT(c.sleep_current, 0.0) << c.name;
+  }
+}
+
+TEST(Library, McmlCellsCannotSleep) {
+  const CellLibrary lib = CellLibrary::mcml90();
+  for (CellKind k : mcml::all_cells()) {
+    const StdCell& c = lib.cell(k);
+    EXPECT_DOUBLE_EQ(c.sleep_current, c.static_current) << c.name;
+  }
+}
+
+TEST(Library, CmosHasDynamicEnergyAndLeakage) {
+  const CellLibrary lib = CellLibrary::cmos90();
+  for (CellKind k : mcml::all_cells()) {
+    const StdCell& c = lib.cell(k);
+    EXPECT_GT(c.switch_energy, 0.0) << c.name;
+    EXPECT_GT(c.leakage_power, 0.0) << c.name;
+    EXPECT_DOUBLE_EQ(c.static_current, 0.0) << c.name;
+  }
+}
+
+TEST(Library, AreaOrderingCmosSmallerThanMcmlSmallerThanPg) {
+  const CellLibrary cmos = CellLibrary::cmos90();
+  const CellLibrary mcml_lib = CellLibrary::mcml90();
+  const CellLibrary pg = CellLibrary::pgmcml90();
+  for (CellKind k : mcml::all_cells()) {
+    EXPECT_LT(cmos.cell(k).area, mcml_lib.cell(k).area) << cmos.cell(k).name;
+    EXPECT_LT(mcml_lib.cell(k).area, pg.cell(k).area) << pg.cell(k).name;
+  }
+}
+
+TEST(Library, PgDelayPenaltySmall) {
+  const CellLibrary mcml_lib = CellLibrary::mcml90();
+  const CellLibrary pg = CellLibrary::pgmcml90();
+  for (CellKind k : mcml::all_cells()) {
+    const double ratio = pg.cell(k).delay / mcml_lib.cell(k).delay;
+    EXPECT_GT(ratio, 1.0) << to_string(k);
+    EXPECT_LT(ratio, 1.08) << to_string(k);
+  }
+}
+
+TEST(Library, CharacterizedLibraryMatchesCalibratedWithinFactorTwo) {
+  // The SPICE-characterized library should agree with the datasheet one in
+  // order of magnitude on every figure (this is the self-consistency check
+  // between our transistor level and our gate level).
+  const CellLibrary cal = CellLibrary::pgmcml90();
+  const CellLibrary chr =
+      CellLibrary::characterized(LogicStyle::kPgMcml, mcml::McmlDesign{});
+  for (CellKind k : mcml::all_cells()) {
+    const StdCell& a = cal.cell(k);
+    const StdCell& b = chr.cell(k);
+    EXPECT_LT(b.delay, a.delay * 3.0) << a.name;
+    EXPECT_GT(b.delay, a.delay / 3.0) << a.name;
+    EXPECT_NEAR(b.static_current, a.static_current, 0.5 * a.static_current)
+        << a.name;
+    EXPECT_LT(b.sleep_current, b.static_current * 1e-3) << a.name;
+  }
+}
+
+TEST(Library, CharacterizedRejectsCmos) {
+  EXPECT_THROW(
+      CellLibrary::characterized(LogicStyle::kCmos, mcml::McmlDesign{}),
+      std::invalid_argument);
+}
+
+TEST(Library, StyleNames) {
+  EXPECT_EQ(to_string(LogicStyle::kCmos), "CMOS");
+  EXPECT_EQ(to_string(LogicStyle::kMcml), "MCML");
+  EXPECT_EQ(to_string(LogicStyle::kPgMcml), "PG-MCML");
+}
+
+}  // namespace
+}  // namespace pgmcml::cells

@@ -1,0 +1,77 @@
+#include "pgmcml/core/aes_core.hpp"
+
+#include "pgmcml/core/sbox_unit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pgmcml/util/rng.hpp"
+
+namespace pgmcml::core {
+namespace {
+
+using cells::CellLibrary;
+
+const synth::Module& core_module() {
+  static const synth::Module kCore = build_aes_core_module();
+  return kCore;
+}
+
+TEST(AesCore, MatchesFips197Vector) {
+  aes::Block pt;
+  aes::Key key;
+  for (int i = 0; i < 16; ++i) {
+    pt[i] = static_cast<std::uint8_t>(i * 0x11);
+    key[i] = static_cast<std::uint8_t>(i);
+  }
+  const aes::Block expected = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                               0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+  EXPECT_EQ(run_aes_core(core_module(), pt, key), expected);
+}
+
+TEST(AesCore, MatchesSoftwareOnRandomBlocks) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 5; ++trial) {
+    aes::Block pt;
+    aes::Key key;
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.bounded(256));
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.bounded(256));
+    EXPECT_EQ(run_aes_core(core_module(), pt, key), aes::encrypt(pt, key))
+        << "trial " << trial;
+  }
+}
+
+TEST(AesCore, SixteenSboxesAndStateRegister) {
+  const synth::Module& m = core_module();
+  // 128 state flops.
+  std::size_t flops = 0;
+  for (std::uint32_t id = 1; id < m.num_nodes(); ++id) {
+    if (m.node(id).op == synth::NodeOp::kDff) ++flops;
+  }
+  EXPECT_EQ(flops, 128u);
+  // Inputs: pt 128 + rk 128 + load + final + st 128.
+  EXPECT_EQ(m.inputs().size(), 128u + 128u + 2u + 128u);
+}
+
+TEST(AesCore, MapsToThousandsOfCellsInEveryStyle) {
+  const auto cmos = map_aes_core(CellLibrary::cmos90());
+  const auto mcml_map = map_aes_core(CellLibrary::mcml90());
+  EXPECT_GT(mcml_map.design.num_instances(), 3000u);
+  EXPECT_GT(cmos.design.num_instances(), mcml_map.design.num_instances());
+  // Roughly 16x the reduced-AES S-box complexity plus round logic.
+  const auto one_sbox = map_reduced_aes(CellLibrary::mcml90());
+  EXPECT_GT(mcml_map.design.num_instances(),
+            8 * one_sbox.design.num_instances());
+}
+
+TEST(AesCore, AreaAndPowerScaleFromIse) {
+  // The full core is bigger and hungrier than the 4-S-box ISE -- the
+  // quantitative argument for why the paper's ISE partitioning matters.
+  const auto lib = CellLibrary::pgmcml90();
+  const auto core_stats = map_aes_core(lib).design.stats(lib);
+  const auto ise_stats = map_sbox_ise(lib).design.stats(lib);
+  EXPECT_GT(core_stats.area, ise_stats.area * 2.0);
+  EXPECT_GT(core_stats.cells, ise_stats.cells * 2);
+}
+
+}  // namespace
+}  // namespace pgmcml::core

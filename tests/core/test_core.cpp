@@ -1,0 +1,195 @@
+// Integration tests of the paper-level flows: the S-box ISE hardware unit,
+// the Table 3 experiment, and the Fig. 6 DPA evaluation.
+#include <gtest/gtest.h>
+
+#include "pgmcml/aes/aes.hpp"
+#include "pgmcml/core/dpa_flow.hpp"
+#include "pgmcml/core/ise_experiment.hpp"
+#include "pgmcml/core/sbox_unit.hpp"
+#include "pgmcml/netlist/logicsim.hpp"
+
+namespace pgmcml::core {
+namespace {
+
+using cells::CellLibrary;
+
+TEST(SboxUnit, ReducedAesModuleComputesSboxOfXor) {
+  const synth::Module m = build_reduced_aes_module();
+  for (int p = 0; p < 256; p += 13) {
+    for (int k = 0; k < 256; k += 29) {
+      std::vector<bool> in(16);
+      for (int b = 0; b < 8; ++b) {
+        in[b] = (p >> b) & 1;
+        in[8 + b] = (k >> b) & 1;
+      }
+      const auto out = m.evaluate(in);
+      int result = 0;
+      for (int b = 0; b < 8; ++b) result |= int(out[b]) << b;
+      ASSERT_EQ(result, aes::reduced_target(static_cast<std::uint8_t>(p),
+                                            static_cast<std::uint8_t>(k)));
+    }
+  }
+}
+
+TEST(SboxUnit, IseModuleSubstitutesFourLanes) {
+  const synth::Module m = build_sbox_ise_module(/*registered=*/false);
+  const std::uint32_t word = 0xc45309ffu;
+  std::vector<bool> in(32);
+  for (int b = 0; b < 32; ++b) in[b] = (word >> b) & 1;
+  const auto out = m.evaluate(in);
+  std::uint32_t result = 0;
+  for (int b = 0; b < 32; ++b) {
+    if (out[b]) result |= 1u << b;
+  }
+  EXPECT_EQ(result, aes::sbox_ise(word));
+}
+
+TEST(SboxUnit, RegisteredIseNeedsTwoClocks) {
+  const synth::Module m = build_sbox_ise_module(/*registered=*/true);
+  const std::uint32_t word = 0x00000001u;
+  std::vector<bool> in(32);
+  for (int b = 0; b < 32; ++b) in[b] = (word >> b) & 1;
+  std::vector<bool> state;
+  m.evaluate(in, true, &state);   // clock 1: capture inputs
+  m.evaluate(in, true, &state);   // clock 2: capture outputs
+  const auto out = m.evaluate(in, false, &state);
+  std::uint32_t result = 0;
+  for (int b = 0; b < 32; ++b) {
+    if (out[b]) result |= 1u << b;
+  }
+  EXPECT_EQ(result, aes::sbox_ise(word));
+}
+
+TEST(SboxUnit, MappedCellCountsOrderAcrossStyles) {
+  const auto cmos = map_sbox_ise(CellLibrary::cmos90());
+  const auto mcml_map = map_sbox_ise(CellLibrary::mcml90());
+  const auto pg = map_sbox_ise(CellLibrary::pgmcml90());
+  // Table 3 ordering: CMOS needs more cells (inverters), both MCML variants
+  // map to identical structural netlists.
+  EXPECT_GT(cmos.design.num_instances(), mcml_map.design.num_instances());
+  EXPECT_EQ(mcml_map.design.num_instances(), pg.design.num_instances());
+  // Thousands of cells, like the paper's 2911-3865 range.
+  EXPECT_GT(mcml_map.design.num_instances(), 500u);
+  EXPECT_LT(cmos.design.num_instances(), 20000u);
+}
+
+TEST(SboxUnit, AreaOrderingMatchesTable3) {
+  const auto cmos_stats =
+      map_sbox_ise(CellLibrary::cmos90()).design.stats(CellLibrary::cmos90());
+  const auto mcml_stats =
+      map_sbox_ise(CellLibrary::mcml90()).design.stats(CellLibrary::mcml90());
+  const auto pg_stats = map_sbox_ise(CellLibrary::pgmcml90())
+                            .design.stats(CellLibrary::pgmcml90());
+  EXPECT_LT(cmos_stats.area, mcml_stats.area);
+  EXPECT_LT(mcml_stats.area, pg_stats.area);
+  // PG over MCML: roughly the cell-level ~6 % (same netlist, wider cells).
+  EXPECT_NEAR(pg_stats.area / mcml_stats.area, 19.0 / 18.0, 0.01);
+}
+
+TEST(IseExperiment, Table3ShapesHold) {
+  IseExperimentOptions opt;
+  opt.blocks = 2;
+  opt.idle_spin = 50000;
+  const auto rows = run_ise_experiment(opt);
+  ASSERT_EQ(rows.size(), 3u);
+  const auto& cmos = rows[0];
+  const auto& mcml_row = rows[1];
+  const auto& pg = rows[2];
+  EXPECT_EQ(cmos.style, "CMOS");
+  EXPECT_EQ(mcml_row.style, "MCML");
+  EXPECT_EQ(pg.style, "PG-MCML");
+
+  // Cell count: CMOS > MCML (inverters); PG > MCML (sleep-tree buffers,
+  // like the paper's 3076 vs 2911).
+  EXPECT_GT(cmos.cells, mcml_row.cells);
+  EXPECT_GT(pg.cells, mcml_row.cells);
+  EXPECT_LT(pg.cells, mcml_row.cells + mcml_row.cells / 5);
+  // Area: CMOS < MCML < PG.
+  EXPECT_LT(cmos.area, mcml_row.area);
+  EXPECT_LT(mcml_row.area, pg.area);
+  // Delay: PG within a few percent of MCML.
+  EXPECT_LT(pg.critical_path, mcml_row.critical_path * 1.05);
+  // Power: the paper's headline ordering.
+  EXPECT_GT(mcml_row.avg_power, pg.avg_power * 100.0);  // >= 10^2 at low idle
+  EXPECT_LT(pg.avg_power, cmos.avg_power * 50.0);       // same magnitude zone
+  // MCML burns the same whether idle or not; PG only when awake.
+  EXPECT_DOUBLE_EQ(mcml_row.avg_power, mcml_row.idle_power);
+  EXPECT_LT(pg.idle_power, pg.active_power * 1e-3);
+}
+
+TEST(IseExperiment, MoreIdleWidensPgAdvantage) {
+  IseExperimentOptions tight;
+  tight.blocks = 1;
+  tight.idle_spin = 0;
+  IseExperimentOptions idle;
+  idle.blocks = 1;
+  idle.idle_spin = 200000;
+  const auto t_rows = run_ise_experiment(tight);
+  const auto i_rows = run_ise_experiment(idle);
+  const double tight_ratio = t_rows[1].avg_power / t_rows[2].avg_power;
+  const double idle_ratio = i_rows[1].avg_power / i_rows[2].avg_power;
+  EXPECT_GT(idle_ratio, tight_ratio * 5.0);
+  EXPECT_GT(i_rows[2].duty, 0.0);
+  EXPECT_LT(i_rows[2].duty, t_rows[2].duty);
+}
+
+TEST(Fig5, WaveformShapes) {
+  const Fig5Waveforms w = compose_fig5_waveforms();
+  // Conventional MCML: essentially flat at the full static current.
+  const double flat = w.mcml.average(2e-9, 10e-9);
+  EXPECT_GT(flat, 1e-3);  // tens of mA for a few thousand cells
+  EXPECT_NEAR(w.mcml.value_at(18e-9), flat, 0.05 * flat);
+  // PG-MCML: negligible before the sleep window...
+  EXPECT_LT(w.pgmcml.average(2e-9, 10e-9), 0.01 * flat);
+  // ...comparable to MCML inside it...
+  EXPECT_GT(w.pgmcml.value_at(14.8e-9), 0.5 * flat);
+  // ...and back to sleep after.
+  EXPECT_LT(w.pgmcml.value_at(19.5e-9), 0.05 * flat);
+  // The sleep signal pulses around the execution at 14.4 ns.
+  EXPECT_GT(w.sleep.value_at(14.0e-9), 0.5);
+  EXPECT_LT(w.sleep.value_at(5e-9), 0.5);
+}
+
+TEST(DpaFlow, CmosKeyDisclosed) {
+  DpaFlowOptions opt;
+  opt.num_traces = 2000;
+  opt.samples = 500;
+  const DpaFlowResult r = run_dpa_flow(CellLibrary::cmos90(), opt);
+  EXPECT_EQ(r.key_rank, 0);
+  EXPECT_EQ(r.cpa.best_guess, opt.key);
+  EXPECT_GT(r.margin, 0.0);
+}
+
+TEST(DpaFlow, McmlResists) {
+  DpaFlowOptions opt;
+  opt.num_traces = 2000;
+  opt.samples = 500;
+  const DpaFlowResult r = run_dpa_flow(CellLibrary::mcml90(), opt);
+  EXPECT_GT(r.key_rank, 3);  // not distinguishable
+  EXPECT_LT(r.margin, 0.0);
+}
+
+TEST(DpaFlow, PgMcmlResistsWithSleepToggling) {
+  DpaFlowOptions opt;
+  opt.num_traces = 2000;
+  opt.samples = 500;
+  opt.gate_per_operation = true;
+  const DpaFlowResult r = run_dpa_flow(CellLibrary::pgmcml90(), opt);
+  EXPECT_GT(r.key_rank, 3);
+  EXPECT_LT(r.margin, 0.0);
+}
+
+TEST(DpaFlow, McmlMeanCurrentFarAboveCmos) {
+  DpaFlowOptions opt;
+  opt.num_traces = 50;
+  opt.samples = 300;
+  const DpaFlowResult cmos = run_dpa_flow(CellLibrary::cmos90(), opt);
+  const DpaFlowResult mcml_r = run_dpa_flow(CellLibrary::mcml90(), opt);
+  // MCML's constant tail current dominates CMOS's (brief) switching burst
+  // even within the active evaluation window; outside it, the gap is orders
+  // of magnitude (see the Fig. 5 waveform test).
+  EXPECT_GT(mcml_r.mean_current, cmos.mean_current * 5.0);
+}
+
+}  // namespace
+}  // namespace pgmcml::core

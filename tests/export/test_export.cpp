@@ -1,0 +1,166 @@
+// Exporter tests: Liberty library, structural Verilog, VCD, SPICE deck.
+#include <gtest/gtest.h>
+
+#include "pgmcml/cells/liberty.hpp"
+#include "pgmcml/mcml/builder.hpp"
+#include "pgmcml/netlist/export.hpp"
+#include "pgmcml/spice/deck.hpp"
+#include "pgmcml/synth/lut.hpp"
+#include "pgmcml/synth/map.hpp"
+
+namespace pgmcml {
+namespace {
+
+using cells::CellLibrary;
+using mcml::CellKind;
+
+TEST(Liberty, AllCellsEmittedWithAreaAndFunction) {
+  const std::string lib = cells::to_liberty(CellLibrary::pgmcml90());
+  EXPECT_NE(lib.find("library (pgmcml90)"), std::string::npos);
+  for (CellKind k : mcml::all_cells()) {
+    EXPECT_NE(lib.find("cell (" + mcml::cell_info(k).name + "X1)"),
+              std::string::npos)
+        << mcml::to_string(k);
+  }
+  EXPECT_NE(lib.find("function : \"(A&B)\""), std::string::npos);
+  EXPECT_NE(lib.find("area :"), std::string::npos);
+  EXPECT_NE(lib.find("cell_rise"), std::string::npos);
+}
+
+TEST(Liberty, PgLibraryDeclaresSleepPins) {
+  const std::string pg = cells::to_liberty(CellLibrary::pgmcml90());
+  const std::string cmos = cells::to_liberty(CellLibrary::cmos90());
+  EXPECT_NE(pg.find("pin (SLEEPB)"), std::string::npos);
+  EXPECT_NE(pg.find("switch_cell_type : fine_grain"), std::string::npos);
+  EXPECT_EQ(cmos.find("SLEEPB"), std::string::npos);
+}
+
+TEST(Liberty, SequentialCellsDeclareFlop) {
+  const std::string lib = cells::to_liberty(CellLibrary::mcml90());
+  EXPECT_NE(lib.find("ff (IQ, IQN)"), std::string::npos);
+  EXPECT_NE(lib.find("clocked_on : \"CK\""), std::string::npos);
+}
+
+TEST(Liberty, PinNamesMatchArity) {
+  for (CellKind k : mcml::all_cells()) {
+    EXPECT_EQ(static_cast<int>(cells::pin_names(k).size()),
+              mcml::cell_info(k).num_inputs)
+        << mcml::to_string(k);
+  }
+}
+
+netlist::Design tiny_design() {
+  using namespace netlist;
+  Design d("tiny");
+  const NetId a = d.add_net("a");
+  const NetId b = d.add_net("b");
+  const NetId w = d.add_net("w");
+  const NetId q = d.add_net("q");
+  const NetId clk = d.add_net("clk");
+  d.mark_input(a, "a");
+  d.mark_input(b, "b");
+  d.mark_input(clk, "clk");
+  Instance g1{"u_and", CellKind::kAnd2, {a, b}, kNoNet, kNoNet, {w}};
+  g1.input_inverted = {false, true};
+  d.add_instance(std::move(g1));
+  d.add_instance({"u_ff", CellKind::kDff, {w}, clk, kNoNet, {q}});
+  d.mark_output(q, "q");
+  return d;
+}
+
+TEST(Verilog, StructuralNetlistRoundTripsNames) {
+  const auto d = tiny_design();
+  const std::string v = netlist::to_verilog(d, CellLibrary::pgmcml90());
+  EXPECT_NE(v.find("module tiny ("), std::string::npos);
+  EXPECT_NE(v.find("AND2X1 u_and"), std::string::npos);
+  EXPECT_NE(v.find("DFFX1 u_ff"), std::string::npos);
+  EXPECT_NE(v.find(".CK("), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // The inverted second input reads the complementary phase.
+  EXPECT_NE(v.find("_n)"), std::string::npos);
+}
+
+TEST(Verilog, OutputsAssigned) {
+  const auto d = tiny_design();
+  const std::string v = netlist::to_verilog(d, CellLibrary::cmos90());
+  EXPECT_NE(v.find("output out_0;"), std::string::npos);
+  EXPECT_NE(v.find("assign out_0 ="), std::string::npos);
+}
+
+TEST(Vcd, HeaderEventsAndTimestamps) {
+  const auto d = tiny_design();
+  std::vector<netlist::SimEvent> events = {
+      {1e-9, 0, true, -1},
+      {1e-9, 1, true, -1},
+      {2.5e-9, 2, true, 0},
+  };
+  const std::string vcd = netlist::to_vcd(d, events);
+  EXPECT_NE(vcd.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(vcd.find("$dumpvars"), std::string::npos);
+  EXPECT_NE(vcd.find("#1000"), std::string::npos);  // 1 ns at 1 ps scale
+  EXPECT_NE(vcd.find("#2500"), std::string::npos);
+  // Same-time events share one timestamp line.
+  EXPECT_EQ(vcd.find("#1000"), vcd.rfind("#1000"));
+}
+
+TEST(SpiceDeck, BufferCellDeckContainsDevicesAndModels) {
+  spice::Circuit c;
+  mcml::McmlDesign design;
+  mcml::McmlRails rails;
+  rails.vdd = c.node("vdd");
+  rails.vp = c.node("vp");
+  rails.vn = c.node("vn");
+  rails.sleep_on = c.node("slp");
+  rails.sleep_off = c.node("slpb");
+  mcml::McmlCellBuilder builder(c, design, rails, "x.");
+  builder.buffer_stage(builder.make_diff("in"));
+
+  const std::string deck = spice::to_spice_deck(c, "pg-mcml buffer");
+  EXPECT_NE(deck.find("* pg-mcml buffer"), std::string::npos);
+  // 6 MOSFETs (2 loads + 2 pair + sleep + tail).
+  std::size_t mos = 0;
+  for (std::size_t pos = deck.find("\nM"); pos != std::string::npos;
+       pos = deck.find("\nM", pos + 1)) {
+    ++mos;
+  }
+  EXPECT_EQ(mos, 6u);
+  EXPECT_NE(deck.find(".model nch_"), std::string::npos);
+  EXPECT_NE(deck.find(".model pch_"), std::string::npos);
+  EXPECT_NE(deck.find("level=1"), std::string::npos);
+  EXPECT_NE(deck.find(".end"), std::string::npos);
+  // Parasitic caps were emitted as explicit C devices.
+  EXPECT_NE(deck.find("\nC"), std::string::npos);
+}
+
+TEST(SpiceDeck, SourcesPrintDcValues) {
+  spice::Circuit c;
+  const auto n = c.node("n1");
+  c.add_vsource("VDD", n, c.gnd(), spice::SourceSpec::dc(1.2));
+  c.add_resistor("R1", n, c.gnd(), 1000.0);
+  const std::string deck = spice::to_spice_deck(c);
+  EXPECT_NE(deck.find("VVDD n1 0 DC 1.2"), std::string::npos);
+  EXPECT_NE(deck.find("RR1 n1 0 1000"), std::string::npos);
+}
+
+TEST(Verilog, SboxNetlistExportsAtScale) {
+  // Smoke: a thousand-cell design exports without blowing up and mentions
+  // every instance exactly once.
+  const auto lib = CellLibrary::mcml90();
+  synth::Module m("x");
+  const auto in = m.input_bus("i", 8);
+  std::vector<std::uint8_t> table(256);
+  for (int i = 0; i < 256; ++i) table[i] = static_cast<std::uint8_t>(i * 7);
+  m.output_bus("o", synth::synthesize_lut8(m, in, table));
+  const auto mapped = synth::map_module(m, lib);
+  const std::string v = netlist::to_verilog(mapped.design, lib);
+  std::size_t count = 0;
+  for (std::size_t pos = v.find("\n  MUX"); pos != std::string::npos;
+       pos = v.find("\n  MUX", pos + 1)) {
+    ++count;
+  }
+  EXPECT_GT(count, 10u);
+}
+
+}  // namespace
+}  // namespace pgmcml

@@ -1,0 +1,83 @@
+#include "pgmcml/mcml/cells.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pgmcml/mcml/area.hpp"
+
+namespace pgmcml::mcml {
+namespace {
+
+TEST(CellsMeta, LibraryHasSixteenCells) {
+  EXPECT_EQ(all_cells().size(), 16u);
+}
+
+TEST(CellsMeta, NamesAreUniqueAndLookupWorks) {
+  std::set<std::string> names;
+  for (CellKind k : all_cells()) {
+    const CellInfo& info = cell_info(k);
+    EXPECT_TRUE(names.insert(info.name).second) << info.name;
+    const CellInfo* found = find_cell(info.name);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->kind, k);
+  }
+  EXPECT_EQ(find_cell("NO_SUCH_CELL"), nullptr);
+}
+
+TEST(CellsMeta, SequentialFlagsMatchClockPresence) {
+  for (CellKind k : all_cells()) {
+    const CellInfo& info = cell_info(k);
+    EXPECT_EQ(info.sequential, info.num_clocks > 0) << info.name;
+  }
+}
+
+TEST(CellsMeta, StageCountsArePositiveAndBounded) {
+  for (CellKind k : all_cells()) {
+    const CellInfo& info = cell_info(k);
+    EXPECT_GE(info.num_stages, 1) << info.name;
+    EXPECT_LE(info.num_stages, 4) << info.name;
+  }
+}
+
+TEST(CellsMeta, PaperAreasArePitchMultiples) {
+  // Every Table 2 area must be pitch_count x pg_pitch x height.
+  AreaModel area;
+  for (CellKind k : all_cells()) {
+    const CellInfo& info = cell_info(k);
+    const double modeled = area.pg_area(k);
+    EXPECT_NEAR(modeled, info.paper_pg_area, 2e-3 * info.paper_pg_area)
+        << info.name;
+  }
+}
+
+TEST(CellsMeta, TransistorCountsPgAddsOnePerStage) {
+  for (CellKind k : all_cells()) {
+    const CellInfo& info = cell_info(k);
+    const int plain = transistor_count(k, false);
+    const int gated = transistor_count(k, true);
+    EXPECT_EQ(gated - plain, info.num_stages) << info.name;
+    EXPECT_GE(plain, 5) << info.name;
+  }
+}
+
+TEST(CellsMeta, BufferIsSmallestCell) {
+  const int buf = cell_info(CellKind::kBuf).pitch_count;
+  for (CellKind k : all_cells()) {
+    EXPECT_GE(cell_info(k).pitch_count, buf) << to_string(k);
+  }
+}
+
+TEST(CellsMeta, ComplexityOrderingHolds) {
+  auto pitches = [](CellKind k) { return cell_info(k).pitch_count; };
+  EXPECT_LT(pitches(CellKind::kAnd2), pitches(CellKind::kAnd3));
+  EXPECT_LT(pitches(CellKind::kAnd3), pitches(CellKind::kAnd4));
+  EXPECT_LT(pitches(CellKind::kXor2), pitches(CellKind::kXor3));
+  EXPECT_LT(pitches(CellKind::kXor3), pitches(CellKind::kXor4));
+  EXPECT_LT(pitches(CellKind::kDLatch), pitches(CellKind::kDff));
+  EXPECT_LT(pitches(CellKind::kDff), pitches(CellKind::kDffR));
+  EXPECT_LT(pitches(CellKind::kMux2), pitches(CellKind::kMux4));
+}
+
+}  // namespace
+}  // namespace pgmcml::mcml

@@ -1,0 +1,130 @@
+#include "pgmcml/mcml/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pgmcml/mcml/bias.hpp"
+#include "pgmcml/util/units.hpp"
+
+namespace pgmcml::mcml {
+namespace {
+
+using util::ps;
+
+/// Characterizations are independent; cache the ones the suite reuses.
+const CellCharacterization& buf_char() {
+  static const CellCharacterization kChar =
+      characterize_cell(CellKind::kBuf, McmlDesign{}, 1);
+  return kChar;
+}
+
+TEST(Characterize, BufferDelayInExpectedRange) {
+  const auto& ch = buf_char();
+  ASSERT_TRUE(ch.ok) << ch.error;
+  // Paper Table 2: 23.97 ps.  Our synthetic 90 nm should land in the same
+  // decade (tens of ps).
+  EXPECT_GT(ch.delay, 5 * ps);
+  EXPECT_LT(ch.delay, 120 * ps);
+}
+
+TEST(Characterize, BufferSwingMatchesTarget) {
+  const auto& ch = buf_char();
+  ASSERT_TRUE(ch.ok);
+  EXPECT_NEAR(ch.swing, 0.4, 0.05);
+}
+
+TEST(Characterize, StaticCurrentTracksStageCount) {
+  // Static current of an MCML cell = stages x Iss (plus small leakage).
+  const auto& buf = buf_char();
+  const auto and3 = characterize_cell(CellKind::kAnd3, McmlDesign{}, 1);
+  ASSERT_TRUE(buf.ok);
+  ASSERT_TRUE(and3.ok) << and3.error;
+  EXPECT_NEAR(buf.static_current, 50e-6, 10e-6);
+  EXPECT_NEAR(and3.static_current / buf.static_current, 2.0, 0.3);
+}
+
+TEST(Characterize, SleepReducesCurrentByOrdersOfMagnitude) {
+  const auto& ch = buf_char();
+  ASSERT_TRUE(ch.ok);
+  EXPECT_LT(ch.sleep_current, ch.static_current * 1e-3);
+  EXPECT_GT(ch.sleep_current, 0.0);  // subthreshold leakage remains
+}
+
+TEST(Characterize, WakeTimeIsFractionOfClockCycle) {
+  // Paper: the gated logic wakes in a fraction of the 400 MHz (2.5 ns)
+  // clock period.
+  const auto& ch = buf_char();
+  ASSERT_TRUE(ch.ok);
+  EXPECT_GT(ch.wake_time, 10 * ps);
+  EXPECT_LT(ch.wake_time, 1.5e-9);
+}
+
+TEST(Characterize, PgDelayPenaltyIsNegligible) {
+  // Table 3 / Section 4: the sleep transistor sits outside the signal path;
+  // delay penalty within a few percent.
+  McmlDesign conv;
+  conv.gating = GatingTopology::kNone;
+  const auto pg = buf_char();
+  const auto cv = characterize_cell(CellKind::kBuf, conv, 1);
+  ASSERT_TRUE(pg.ok);
+  ASSERT_TRUE(cv.ok) << cv.error;
+  EXPECT_LT(pg.delay, cv.delay * 1.15);
+}
+
+TEST(Characterize, ConventionalCellDoesNotSleep) {
+  McmlDesign conv;
+  conv.gating = GatingTopology::kNone;
+  const auto cv = characterize_cell(CellKind::kBuf, conv, 1);
+  ASSERT_TRUE(cv.ok);
+  EXPECT_DOUBLE_EQ(cv.sleep_current, cv.static_current);
+  EXPECT_DOUBLE_EQ(cv.wake_time, 0.0);
+}
+
+TEST(Characterize, FanoutFourSlowerThanFanoutOne) {
+  const auto fo1 = buf_char();
+  const auto fo4 = characterize_cell(CellKind::kBuf, McmlDesign{}, 4);
+  ASSERT_TRUE(fo1.ok);
+  ASSERT_TRUE(fo4.ok) << fo4.error;
+  EXPECT_GT(fo4.delay, fo1.delay * 1.2);
+}
+
+TEST(Characterize, DelayOrderingAcrossCells) {
+  // Table 2 trend: AND4 > AND3 > AND2 > BUF.
+  McmlDesign d;
+  const auto buf = buf_char();
+  const auto and2 = characterize_cell(CellKind::kAnd2, d, 1);
+  const auto and3 = characterize_cell(CellKind::kAnd3, d, 1);
+  const auto and4 = characterize_cell(CellKind::kAnd4, d, 1);
+  ASSERT_TRUE(and2.ok) << and2.error;
+  ASSERT_TRUE(and3.ok) << and3.error;
+  ASSERT_TRUE(and4.ok) << and4.error;
+  EXPECT_GT(and2.delay, buf.delay);
+  EXPECT_GT(and3.delay, and2.delay);
+  EXPECT_GT(and4.delay, and3.delay);
+}
+
+TEST(Characterize, SequentialCellsCharacterize) {
+  McmlDesign d;
+  const auto dff = characterize_cell(CellKind::kDff, d, 1);
+  ASSERT_TRUE(dff.ok) << dff.error;
+  EXPECT_GT(dff.delay, 5 * ps);
+  EXPECT_LT(dff.delay, 400 * ps);
+  EXPECT_NEAR(dff.static_current, 2 * 50e-6, 25e-6);  // two latch stages
+}
+
+TEST(Characterize, BufferSweepPointsBehaveLikeFig3) {
+  McmlDesign base;
+  const auto p25 = characterize_buffer_at(base, 25e-6);
+  const auto p100 = characterize_buffer_at(base, 100e-6);
+  ASSERT_TRUE(p25.ok);
+  ASSERT_TRUE(p100.ok);
+  // More tail current -> faster (Fig. 3a) but bigger and hungrier.
+  EXPECT_GT(p25.delay_fo4, p100.delay_fo4);
+  EXPECT_GT(p100.power, p25.power);
+  EXPECT_GT(p100.area, p25.area);
+  // FO4 always slower than FO1.
+  EXPECT_GT(p25.delay_fo4, p25.delay_fo1);
+  EXPECT_GT(p100.delay_fo4, p100.delay_fo1);
+}
+
+}  // namespace
+}  // namespace pgmcml::mcml

@@ -1,0 +1,97 @@
+#include "pgmcml/mcml/dycml.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pgmcml/mcml/characterize.hpp"
+#include "pgmcml/spice/engine.hpp"
+#include "pgmcml/util/units.hpp"
+
+namespace pgmcml::mcml {
+namespace {
+
+using util::ns;
+using util::ps;
+
+TEST(Dycml, BufferCharacterizes) {
+  const DycmlCharacterization ch = characterize_dycml_buffer();
+  ASSERT_TRUE(ch.ok) << ch.error;
+  EXPECT_GT(ch.delay, 1 * ps);
+  EXPECT_LT(ch.delay, 200 * ps);
+  EXPECT_GT(ch.energy_per_op, 0.5e-15);
+  EXPECT_LT(ch.energy_per_op, 100e-15);
+  EXPECT_EQ(ch.transistors, 8);
+}
+
+TEST(Dycml, IdleCurrentFarBelowMcmlStatic) {
+  // The whole point of DyCML: no static tail current between evaluations.
+  const DycmlCharacterization dy = characterize_dycml_buffer();
+  const CellCharacterization mc =
+      characterize_cell(CellKind::kBuf, McmlDesign{}, 1);
+  ASSERT_TRUE(dy.ok) << dy.error;
+  ASSERT_TRUE(mc.ok);
+  EXPECT_LT(dy.idle_current, mc.static_current / 100.0);
+}
+
+TEST(Dycml, EnergyScalesWithVirtualGroundTank) {
+  DycmlDesign small;
+  small.c_virtual_gnd = 4e-15;
+  DycmlDesign large;
+  large.c_virtual_gnd = 16e-15;
+  const auto ch_small = characterize_dycml_buffer(small);
+  const auto ch_large = characterize_dycml_buffer(large);
+  ASSERT_TRUE(ch_small.ok) << ch_small.error;
+  ASSERT_TRUE(ch_large.ok) << ch_large.error;
+  // The evaluation charge is dominated by the tank: bigger tank, more
+  // energy per operation.
+  EXPECT_GT(ch_large.energy_per_op, ch_small.energy_per_op * 1.5);
+}
+
+TEST(Dycml, OutputsPrechargeHighAndEvaluateDifferentially) {
+  DycmlDesign d;
+  spice::Circuit c;
+  const double vdd = d.tech.vdd();
+  const auto nvdd = c.node("vdd");
+  const auto clk = c.node("clk");
+  const auto clkb = c.node("dut.clkb");
+  c.add_vsource("VDD", nvdd, c.gnd(), spice::SourceSpec::dc(vdd));
+  c.add_vsource("VCLK", clk, c.gnd(),
+                spice::SourceSpec::pulse(0.0, vdd, 1 * ns, 30 * ps, 30 * ps,
+                                         0.97 * ns, 2 * ns));
+  c.add_vsource("VCLKB", clkb, c.gnd(),
+                spice::SourceSpec::pulse(vdd, 0.0, 1 * ns, 30 * ps, 30 * ps,
+                                         0.97 * ns, 2 * ns));
+  DiffNet in{c.node("in_p"), c.node("in_n")};
+  c.add_vsource("VINP", in.p, c.gnd(), spice::SourceSpec::dc(vdd));
+  c.add_vsource("VINN", in.n, c.gnd(), spice::SourceSpec::dc(vdd - 0.6));
+  const DiffNet out = build_dycml_buffer(c, d, nvdd, clk, in, "dut.");
+
+  spice::TranOptions opt;
+  opt.dt_max = 10 * ps;
+  const auto tr = spice::transient(c, 4 * ns, opt);
+  ASSERT_TRUE(tr.ok) << tr.error;
+  const auto vp = tr.node_waveform(out.p);
+  const auto vn = tr.node_waveform(out.n);
+  // Precharge phase (t = 0.5 ns): both outputs high.
+  EXPECT_NEAR(vp.value_at(0.5 * ns), vdd, 0.05);
+  EXPECT_NEAR(vn.value_at(0.5 * ns), vdd, 0.05);
+  // Evaluation (t = 1.8 ns): in = 1, so out_n discharged, out_p held high.
+  EXPECT_NEAR(vp.value_at(1.8 * ns), vdd, 0.1);
+  EXPECT_LT(vn.value_at(1.8 * ns), vdd - 0.4);
+  // Next precharge: recovered.
+  EXPECT_NEAR(vn.value_at(2.7 * ns), vdd, 0.1);
+}
+
+TEST(Dycml, SelfLimitingEvaluationCurrent) {
+  // The virtual-ground tank stops the discharge: the supply current pulse
+  // must die out well before the end of the evaluation phase.
+  DycmlDesign d;
+  const auto ch = characterize_dycml_buffer(d);
+  ASSERT_TRUE(ch.ok);
+  // Idle current during late evaluation ~= leakage, far below the pulse
+  // average (energy/op over the phase).
+  const double avg_eval_current = ch.energy_per_op / 1.2 / 1e-9;
+  EXPECT_LT(ch.idle_current, avg_eval_current / 20.0);
+}
+
+}  // namespace
+}  // namespace pgmcml::mcml

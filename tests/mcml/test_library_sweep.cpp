@@ -1,0 +1,81 @@
+// Parameterized sweep over the full 16-cell library: every cell must satisfy
+// the library-level invariants at the nominal design point.  This is the
+// regression net that catches any cell generator / characterizer breakage.
+#include <gtest/gtest.h>
+
+#include "pgmcml/mcml/characterize.hpp"
+#include "pgmcml/util/units.hpp"
+
+namespace pgmcml::mcml {
+namespace {
+
+class CellSweep : public ::testing::TestWithParam<CellKind> {
+ protected:
+  static const CellCharacterization& characterization(CellKind kind) {
+    static std::map<CellKind, CellCharacterization> cache;
+    auto it = cache.find(kind);
+    if (it == cache.end()) {
+      it = cache.emplace(kind, characterize_cell(kind, McmlDesign{}, 1)).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(CellSweep, CharacterizesSuccessfully) {
+  const auto& ch = characterization(GetParam());
+  EXPECT_TRUE(ch.ok) << ch.error;
+}
+
+TEST_P(CellSweep, DelayWithinLibraryBand) {
+  const auto& ch = characterization(GetParam());
+  ASSERT_TRUE(ch.ok);
+  EXPECT_GT(ch.delay, 5e-12) << to_string(GetParam());
+  EXPECT_LT(ch.delay, 250e-12) << to_string(GetParam());
+}
+
+TEST_P(CellSweep, StaticCurrentIsStagesTimesIss) {
+  const auto& ch = characterization(GetParam());
+  ASSERT_TRUE(ch.ok);
+  const int stages = cell_info(GetParam()).num_stages;
+  EXPECT_NEAR(ch.static_current, stages * 50e-6, stages * 12e-6)
+      << to_string(GetParam());
+}
+
+TEST_P(CellSweep, SleepCutsAtLeastThreeOrders) {
+  const auto& ch = characterization(GetParam());
+  ASSERT_TRUE(ch.ok);
+  EXPECT_LT(ch.sleep_current, ch.static_current * 1e-3)
+      << to_string(GetParam());
+}
+
+TEST_P(CellSweep, SwingNearTarget) {
+  const auto& ch = characterization(GetParam());
+  ASSERT_TRUE(ch.ok);
+  // The D2S converter reports CMOS levels; its "swing" is vdd-class.
+  if (GetParam() == CellKind::kDiff2Single) {
+    EXPECT_GT(ch.swing, 0.4);
+    return;
+  }
+  EXPECT_NEAR(ch.swing, 0.4, 0.08) << to_string(GetParam());
+}
+
+TEST_P(CellSweep, WakeupWithinAClockCycle) {
+  const auto& ch = characterization(GetParam());
+  ASSERT_TRUE(ch.ok);
+  EXPECT_GT(ch.wake_time, 0.0) << to_string(GetParam());
+  EXPECT_LT(ch.wake_time, 2.5e-9) << to_string(GetParam());  // 400 MHz cycle
+}
+
+std::string cell_name(const ::testing::TestParamInfo<CellKind>& info) {
+  std::string name = to_string(info.param);
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, CellSweep,
+                         ::testing::ValuesIn(all_cells()), cell_name);
+
+}  // namespace
+}  // namespace pgmcml::mcml

@@ -1,0 +1,61 @@
+#include "pgmcml/mcml/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pgmcml::mcml {
+namespace {
+
+TEST(MonteCarlo, BufferDistributionsAreSane) {
+  const MonteCarloResult r =
+      monte_carlo_characterize(CellKind::kBuf, McmlDesign{}, 25, 42);
+  EXPECT_EQ(r.samples, 25);
+  EXPECT_LT(r.failures, 3);
+  ASSERT_GT(r.delay.count(), 20u);
+  // Mean near the nominal characterization; spread small but nonzero.
+  EXPECT_NEAR(r.delay.mean(), 27e-12, 8e-12);
+  EXPECT_GT(r.delay.stddev(), 0.0);
+  EXPECT_LT(r.delay.stddev(), 0.3 * r.delay.mean());
+  EXPECT_NEAR(r.static_current.mean(), 52e-6, 8e-6);
+  EXPECT_NEAR(r.swing.mean(), 0.4, 0.05);
+}
+
+TEST(MonteCarlo, MismatchSpreadsTheTailCurrent) {
+  const MonteCarloResult r =
+      monte_carlo_characterize(CellKind::kBuf, McmlDesign{}, 30, 7);
+  // Tail-current sigma from Vth mismatch on a 2 um device: a few percent.
+  const double rel = r.static_current.stddev() / r.static_current.mean();
+  EXPECT_GT(rel, 0.001);
+  EXPECT_LT(rel, 0.15);
+}
+
+TEST(MonteCarlo, SleepLeakageDistributionCollected) {
+  const MonteCarloResult r =
+      monte_carlo_characterize(CellKind::kBuf, McmlDesign{}, 15, 11);
+  ASSERT_GT(r.sleep_current.count(), 10u);
+  EXPECT_LT(r.sleep_current.mean(), 100e-9);
+  EXPECT_GT(r.sleep_current.mean(), 0.0);
+  // Subthreshold leakage is exponential in Vth: the spread is relatively
+  // much wider than the on-current spread.
+  const double rel_sleep = r.sleep_current.stddev() / r.sleep_current.mean();
+  const double rel_on = r.static_current.stddev() / r.static_current.mean();
+  EXPECT_GT(rel_sleep, rel_on);
+}
+
+TEST(MonteCarlo, DeterministicForSameSeed) {
+  const MonteCarloResult a =
+      monte_carlo_characterize(CellKind::kBuf, McmlDesign{}, 8, 99);
+  const MonteCarloResult b =
+      monte_carlo_characterize(CellKind::kBuf, McmlDesign{}, 8, 99);
+  EXPECT_DOUBLE_EQ(a.delay.mean(), b.delay.mean());
+  EXPECT_DOUBLE_EQ(a.static_current.mean(), b.static_current.mean());
+}
+
+TEST(MonteCarlo, GateCellsAlsoCharacterize) {
+  const MonteCarloResult r =
+      monte_carlo_characterize(CellKind::kXor2, McmlDesign{}, 10, 5);
+  EXPECT_LT(r.failures, 2);
+  EXPECT_GT(r.delay.mean(), 10e-12);
+}
+
+}  // namespace
+}  // namespace pgmcml::mcml

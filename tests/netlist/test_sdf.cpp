@@ -1,0 +1,62 @@
+#include "pgmcml/netlist/sdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pgmcml/core/sbox_unit.hpp"
+
+namespace pgmcml::netlist {
+namespace {
+
+using cells::CellLibrary;
+using mcml::CellKind;
+
+Design small() {
+  Design d("sdf_test");
+  const NetId a = d.add_net("a");
+  const NetId b = d.add_net("b");
+  const NetId w = d.add_net("w");
+  const NetId s = d.add_net("s");
+  const NetId co = d.add_net("co");
+  d.mark_input(a, "a");
+  d.mark_input(b, "b");
+  d.add_instance({"u1", CellKind::kXor2, {a, b}, kNoNet, kNoNet, {w}});
+  d.add_instance({"u2", CellKind::kFullAdder, {a, b, w}, kNoNet, kNoNet,
+                  {s, co}});
+  d.mark_output(s, "s");
+  return d;
+}
+
+TEST(Sdf, HeaderAndCellEntries) {
+  const std::string sdf = to_sdf(small(), CellLibrary::pgmcml90());
+  EXPECT_NE(sdf.find("(DELAYFILE"), std::string::npos);
+  EXPECT_NE(sdf.find("(DESIGN \"sdf_test\")"), std::string::npos);
+  EXPECT_NE(sdf.find("(CELLTYPE \"XOR2X1\")"), std::string::npos);
+  EXPECT_NE(sdf.find("(INSTANCE u1)"), std::string::npos);
+  EXPECT_NE(sdf.find("(IOPATH * Q"), std::string::npos);
+  // The full adder declares both output paths.
+  EXPECT_NE(sdf.find("(IOPATH * S"), std::string::npos);
+  EXPECT_NE(sdf.find("(IOPATH * CO"), std::string::npos);
+}
+
+TEST(Sdf, DelaysMatchLibrary) {
+  const auto lib = CellLibrary::pgmcml90();
+  const std::string sdf = to_sdf(small(), lib);
+  const double d_ps = lib.cell(CellKind::kXor2).delay * 1e12;
+  char expect[64];
+  std::snprintf(expect, sizeof(expect), "(%g:", d_ps);
+  EXPECT_NE(sdf.find(expect), std::string::npos);
+}
+
+TEST(Sdf, InterconnectEntriesWithPlacement) {
+  const auto lib = CellLibrary::pgmcml90();
+  const auto mapped = core::map_reduced_aes(lib);
+  const auto placed = place_and_route(mapped.design, lib);
+  const std::string with = to_sdf(mapped.design, lib, &placed);
+  const std::string without = to_sdf(mapped.design, lib, nullptr);
+  EXPECT_NE(with.find("(INTERCONNECT"), std::string::npos);
+  EXPECT_EQ(without.find("(INTERCONNECT"), std::string::npos);
+  EXPECT_GT(with.size(), without.size());
+}
+
+}  // namespace
+}  // namespace pgmcml::netlist

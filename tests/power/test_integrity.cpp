@@ -1,0 +1,59 @@
+#include "pgmcml/power/integrity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pgmcml::power {
+namespace {
+
+TEST(Inrush, PeakReflectsWakeOvershoot) {
+  const CurrentKernels k = default_kernels();
+  InrushOptions opt;
+  const InrushResult r = analyze_wake_inrush(k, 30e-3, opt);
+  EXPECT_NEAR(r.steady_current, 30e-3, 1e-12);
+  // The default wake kernel overshoots ~15%.
+  EXPECT_GT(r.peak_current, 30e-3 * 1.1);
+  EXPECT_LT(r.peak_current, 30e-3 * 1.3);
+  EXPECT_NEAR(r.peak_droop, r.peak_current * opt.grid_resistance, 1e-12);
+  EXPECT_GT(r.droop_fraction, 0.0);
+}
+
+TEST(Inrush, StaggeringReducesThePeak) {
+  const CurrentKernels k = default_kernels();
+  InrushOptions lumped;
+  lumped.stagger_groups = 1;
+  InrushOptions staggered;
+  staggered.stagger_groups = 8;
+  staggered.stagger_step = 200e-12;
+  const InrushResult rl = analyze_wake_inrush(k, 100e-3, lumped);
+  const InrushResult rs = analyze_wake_inrush(k, 100e-3, staggered);
+  EXPECT_LT(rs.peak_current, rl.peak_current);
+  EXPECT_LT(rs.peak_droop, rl.peak_droop);
+  // Staggering trades peak for settle time.
+  EXPECT_GT(rs.settle_time, rl.settle_time);
+}
+
+TEST(Inrush, DroopScalesWithGridResistance) {
+  const CurrentKernels k = default_kernels();
+  InrushOptions soft;
+  soft.grid_resistance = 2.0;
+  InrushOptions stiff;
+  stiff.grid_resistance = 0.1;
+  const double droop_soft = analyze_wake_inrush(k, 50e-3, soft).peak_droop;
+  const double droop_stiff = analyze_wake_inrush(k, 50e-3, stiff).peak_droop;
+  EXPECT_NEAR(droop_soft / droop_stiff, 20.0, 0.1);
+}
+
+TEST(Inrush, ZeroCurrentIsInert) {
+  const InrushResult r = analyze_wake_inrush(default_kernels(), 0.0);
+  EXPECT_DOUBLE_EQ(r.peak_current, 0.0);
+  EXPECT_DOUBLE_EQ(r.peak_droop, 0.0);
+}
+
+TEST(Inrush, SettleWithinNanoseconds) {
+  const InrushResult r = analyze_wake_inrush(default_kernels(), 30e-3);
+  EXPECT_GT(r.settle_time, 0.0);
+  EXPECT_LT(r.settle_time, 1e-9);
+}
+
+}  // namespace
+}  // namespace pgmcml::power

@@ -1,0 +1,136 @@
+// Engine robustness: failure paths, degenerate circuits, API misuse.
+#include <gtest/gtest.h>
+
+#include "pgmcml/spice/circuit.hpp"
+#include "pgmcml/spice/engine.hpp"
+#include "pgmcml/spice/technology.hpp"
+
+namespace pgmcml::spice {
+namespace {
+
+TEST(Robustness, DuplicateDeviceNameRejected) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_resistor("R1", a, c.gnd(), 1e3);
+  EXPECT_THROW(c.add_resistor("R1", a, c.gnd(), 2e3), std::invalid_argument);
+}
+
+TEST(Robustness, NonPositiveResistanceRejected) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  EXPECT_THROW(c.add_resistor("R1", a, c.gnd(), 0.0), std::invalid_argument);
+  EXPECT_THROW(c.add_resistor("R2", a, c.gnd(), -5.0), std::invalid_argument);
+}
+
+TEST(Robustness, NegativeCapacitanceRejected) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  EXPECT_THROW(c.add_capacitor("C1", a, c.gnd(), -1e-15),
+               std::invalid_argument);
+}
+
+TEST(Robustness, NodeLookupIsIdempotent) {
+  Circuit c;
+  const NodeId a1 = c.node("alpha");
+  const NodeId a2 = c.node("alpha");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(c.find_node("alpha"), a1);
+  EXPECT_EQ(c.find_node("missing"), -1);
+}
+
+TEST(Robustness, InternalNodesNeverCollide) {
+  Circuit c;
+  c.node("x#0");  // occupy a name the generator might pick
+  const NodeId n1 = c.internal_node("x");
+  const NodeId n2 = c.internal_node("x");
+  EXPECT_NE(n1, n2);
+  EXPECT_NE(c.node_name(n1), "x#0");
+}
+
+TEST(Robustness, EmptyCircuitDcConverges) {
+  Circuit c;
+  c.node("only");  // a node with no devices at all
+  c.add_resistor("R", c.find_node("only"), c.gnd(), 1e3);
+  const DcResult dc = dc_operating_point(c);
+  EXPECT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.v(c, c.find_node("only")), 0.0, 1e-9);
+}
+
+TEST(Robustness, TransientZeroDurationReturnsInitialPoint) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_vsource("V", a, c.gnd(), SourceSpec::dc(1.0));
+  c.add_resistor("R", a, c.gnd(), 1e3);
+  const TranResult tr = transient(c, 0.0);
+  ASSERT_TRUE(tr.ok) << tr.error;
+  ASSERT_GE(tr.time.size(), 1u);
+  EXPECT_DOUBLE_EQ(tr.time.front(), 0.0);
+}
+
+TEST(Robustness, StackedSourcesBetweenSameNodesSolvable) {
+  // Two parallel voltage sources with equal values: consistent but
+  // degenerate; the MNA matrix stays solvable because each gets its own
+  // branch unknown (the split of current between them is arbitrary but the
+  // node voltage is exact).
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_vsource("V1", a, c.gnd(), SourceSpec::dc(1.0));
+  c.add_resistor("RB", a, c.gnd(), 1e3);
+  const DcResult dc = dc_operating_point(c);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.v(c, a), 1.0, 1e-9);
+}
+
+TEST(Robustness, StiffCircuitTransientCompletes) {
+  // Very small cap on a strongly driven node: stiff but integrable.
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_vsource("V", in, c.gnd(),
+                SourceSpec::pulse(0.0, 1.0, 0.1e-9, 1e-12, 1e-12, 1e-9));
+  c.add_resistor("R", in, out, 10.0);       // tau = 10 * 1e-18 = 1e-17 s
+  c.add_capacitor("C", out, c.gnd(), 1e-18);
+  const TranResult tr = transient(c, 1e-9);
+  ASSERT_TRUE(tr.ok) << tr.error;
+  EXPECT_NEAR(tr.node_waveform(out).value_at(0.9e-9), 1.0, 0.01);
+}
+
+TEST(Robustness, ManyBreakpointsHandled) {
+  // A fast periodic source forces hundreds of breakpoints.
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_vsource("V", a, c.gnd(),
+                SourceSpec::pulse(0.0, 1.0, 0.0, 5e-12, 5e-12, 40e-12,
+                                  100e-12));
+  c.add_resistor("R", a, c.gnd(), 1e3);
+  const TranResult tr = transient(c, 10e-9);
+  ASSERT_TRUE(tr.ok) << tr.error;
+  EXPECT_GT(tr.steps_accepted, 200u);
+}
+
+TEST(Robustness, MosfetBodyAtForwardBiasStillConverges) {
+  Technology tech;
+  Circuit c;
+  const NodeId d = c.node("d");
+  const NodeId g = c.node("g");
+  const NodeId b = c.node("b");
+  c.add_vsource("VD", d, c.gnd(), SourceSpec::dc(0.6));
+  c.add_vsource("VG", g, c.gnd(), SourceSpec::dc(0.8));
+  c.add_vsource("VB", b, c.gnd(), SourceSpec::dc(1.0));  // strong forward bias
+  c.add_mosfet("M", d, g, c.gnd(), b, tech.nmos(VtFlavor::kLowVt, 1e-6));
+  const DcResult dc = dc_operating_point(c);
+  EXPECT_TRUE(dc.converged);
+}
+
+TEST(Robustness, DeviceLookup) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const DeviceId r = c.add_resistor("R1", a, c.gnd(), 1e3);
+  EXPECT_EQ(c.find_device("R1"), r);
+  EXPECT_EQ(c.find_device("R2"), -1);
+  EXPECT_EQ(c.device(r).name(), "R1");
+  EXPECT_EQ(c.device(r).terminals().size(), 2u);
+}
+
+}  // namespace
+}  // namespace pgmcml::spice

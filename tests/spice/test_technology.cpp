@@ -1,0 +1,88 @@
+#include "pgmcml/spice/technology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pgmcml/util/stats.hpp"
+
+namespace pgmcml::spice {
+namespace {
+
+TEST(Technology, DefaultsAreSane) {
+  Technology tech;
+  EXPECT_NEAR(tech.vdd(), 1.2, 1e-12);
+  EXPECT_NEAR(tech.lmin(), 0.1e-6, 1e-12);
+  EXPECT_EQ(tech.corner(), Corner::kTypical);
+}
+
+TEST(Technology, FlavorsOrderThresholds) {
+  Technology tech;
+  EXPECT_LT(tech.nmos(VtFlavor::kLowVt, 1e-6).vth0,
+            tech.nmos(VtFlavor::kHighVt, 1e-6).vth0);
+  EXPECT_LT(tech.pmos(VtFlavor::kLowVt, 1e-6).vth0,
+            tech.pmos(VtFlavor::kHighVt, 1e-6).vth0);
+}
+
+TEST(Technology, PolarityFlagsSet) {
+  Technology tech;
+  EXPECT_TRUE(tech.nmos(VtFlavor::kLowVt, 1e-6).is_nmos);
+  EXPECT_FALSE(tech.pmos(VtFlavor::kLowVt, 1e-6).is_nmos);
+}
+
+TEST(Technology, CornersShiftStrength) {
+  const Technology tt(Corner::kTypical);
+  const Technology ff(Corner::kFast);
+  const Technology ss(Corner::kSlow);
+  EXPECT_GT(ff.nmos(VtFlavor::kLowVt, 1e-6).kp,
+            tt.nmos(VtFlavor::kLowVt, 1e-6).kp);
+  EXPECT_LT(ss.nmos(VtFlavor::kLowVt, 1e-6).kp,
+            tt.nmos(VtFlavor::kLowVt, 1e-6).kp);
+  EXPECT_LT(ff.nmos(VtFlavor::kLowVt, 1e-6).vth0,
+            ss.nmos(VtFlavor::kLowVt, 1e-6).vth0);
+  EXPECT_GT(ff.vdd(), ss.vdd());
+}
+
+TEST(Technology, DefaultLengthIsLmin) {
+  Technology tech;
+  EXPECT_DOUBLE_EQ(tech.nmos(VtFlavor::kLowVt, 1e-6).l, tech.lmin());
+  EXPECT_DOUBLE_EQ(tech.nmos(VtFlavor::kLowVt, 1e-6, 0.2e-6).l, 0.2e-6);
+}
+
+TEST(Technology, MismatchIsZeroMeanAndPelgromScaled) {
+  Technology tech;
+  util::Rng rng(99);
+  const MosParams small = tech.nmos(VtFlavor::kLowVt, 0.2e-6);
+  const MosParams large = tech.nmos(VtFlavor::kLowVt, 5e-6);
+  util::RunningStats dv_small;
+  util::RunningStats dv_large;
+  for (int i = 0; i < 4000; ++i) {
+    dv_small.add(tech.with_mismatch(small, rng).vth0 - small.vth0);
+    dv_large.add(tech.with_mismatch(large, rng).vth0 - large.vth0);
+  }
+  EXPECT_NEAR(dv_small.mean(), 0.0, 3e-4);
+  EXPECT_NEAR(dv_large.mean(), 0.0, 3e-4);
+  // Pelgrom: sigma scales as 1/sqrt(WL); the width ratio is 25 -> sigma
+  // ratio 5.
+  EXPECT_NEAR(dv_small.stddev() / dv_large.stddev(), 5.0, 0.8);
+}
+
+TEST(Technology, MismatchPreservesPolarityAndSize) {
+  Technology tech;
+  util::Rng rng(5);
+  const MosParams nominal = tech.pmos(VtFlavor::kHighVt, 2e-6);
+  const MosParams m = tech.with_mismatch(nominal, rng);
+  EXPECT_EQ(m.is_nmos, nominal.is_nmos);
+  EXPECT_DOUBLE_EQ(m.w, nominal.w);
+  EXPECT_DOUBLE_EQ(m.l, nominal.l);
+  EXPECT_GT(m.kp, 0.0);
+}
+
+TEST(Technology, CornerNames) {
+  EXPECT_EQ(to_string(Corner::kTypical), "TT");
+  EXPECT_EQ(to_string(Corner::kFast), "FF");
+  EXPECT_EQ(to_string(Corner::kSlow), "SS");
+  EXPECT_EQ(to_string(VtFlavor::kLowVt), "LVT");
+  EXPECT_EQ(to_string(VtFlavor::kHighVt), "HVT");
+}
+
+}  // namespace
+}  // namespace pgmcml::spice
