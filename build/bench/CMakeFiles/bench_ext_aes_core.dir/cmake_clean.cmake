@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_aes_core.dir/bench_ext_aes_core.cpp.o"
+  "CMakeFiles/bench_ext_aes_core.dir/bench_ext_aes_core.cpp.o.d"
+  "bench_ext_aes_core"
+  "bench_ext_aes_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_aes_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_cpa.dir/bench_fig6_cpa.cpp.o"
+  "CMakeFiles/bench_fig6_cpa.dir/bench_fig6_cpa.cpp.o.d"
+  "bench_fig6_cpa"
+  "bench_fig6_cpa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

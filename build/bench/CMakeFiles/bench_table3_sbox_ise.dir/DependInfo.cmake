@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_sbox_ise.cpp" "bench/CMakeFiles/bench_table3_sbox_ise.dir/bench_table3_sbox_ise.cpp.o" "gcc" "bench/CMakeFiles/bench_table3_sbox_ise.dir/bench_table3_sbox_ise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pgmcml_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pgmcml_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sca/CMakeFiles/pgmcml_sca.dir/DependInfo.cmake"
+  "/root/repo/build/src/or1k/CMakeFiles/pgmcml_or1k.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/pgmcml_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/pgmcml_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/pgmcml_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcml/CMakeFiles/pgmcml_mcml.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/pgmcml_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/aes/CMakeFiles/pgmcml_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgmcml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

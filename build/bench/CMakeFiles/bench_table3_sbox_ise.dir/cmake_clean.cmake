@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_sbox_ise.dir/bench_table3_sbox_ise.cpp.o"
+  "CMakeFiles/bench_table3_sbox_ise.dir/bench_table3_sbox_ise.cpp.o.d"
+  "bench_table3_sbox_ise"
+  "bench_table3_sbox_ise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sbox_ise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

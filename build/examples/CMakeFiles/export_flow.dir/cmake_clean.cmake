@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_flow.dir/export_flow.cpp.o"
+  "CMakeFiles/export_flow.dir/export_flow.cpp.o.d"
+  "export_flow"
+  "export_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

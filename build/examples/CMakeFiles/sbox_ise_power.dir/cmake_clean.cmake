@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbox_ise_power.dir/sbox_ise_power.cpp.o"
+  "CMakeFiles/sbox_ise_power.dir/sbox_ise_power.cpp.o.d"
+  "sbox_ise_power"
+  "sbox_ise_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbox_ise_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

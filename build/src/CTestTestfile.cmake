@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("spice")
+subdirs("mcml")
+subdirs("cells")
+subdirs("netlist")
+subdirs("synth")
+subdirs("aes")
+subdirs("power")
+subdirs("sca")
+subdirs("or1k")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmcml_aes.dir/aes.cpp.o"
+  "CMakeFiles/pgmcml_aes.dir/aes.cpp.o.d"
+  "libpgmcml_aes.a"
+  "libpgmcml_aes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmcml_aes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

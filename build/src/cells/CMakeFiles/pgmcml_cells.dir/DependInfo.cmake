@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cells/liberty.cpp" "src/cells/CMakeFiles/pgmcml_cells.dir/liberty.cpp.o" "gcc" "src/cells/CMakeFiles/pgmcml_cells.dir/liberty.cpp.o.d"
+  "/root/repo/src/cells/library.cpp" "src/cells/CMakeFiles/pgmcml_cells.dir/library.cpp.o" "gcc" "src/cells/CMakeFiles/pgmcml_cells.dir/library.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mcml/CMakeFiles/pgmcml_mcml.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/pgmcml_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgmcml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmcml_cells.dir/liberty.cpp.o"
+  "CMakeFiles/pgmcml_cells.dir/liberty.cpp.o.d"
+  "CMakeFiles/pgmcml_cells.dir/library.cpp.o"
+  "CMakeFiles/pgmcml_cells.dir/library.cpp.o.d"
+  "libpgmcml_cells.a"
+  "libpgmcml_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmcml_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

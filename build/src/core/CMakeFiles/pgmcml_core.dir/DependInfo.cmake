@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aes_core.cpp" "src/core/CMakeFiles/pgmcml_core.dir/aes_core.cpp.o" "gcc" "src/core/CMakeFiles/pgmcml_core.dir/aes_core.cpp.o.d"
+  "/root/repo/src/core/dpa_flow.cpp" "src/core/CMakeFiles/pgmcml_core.dir/dpa_flow.cpp.o" "gcc" "src/core/CMakeFiles/pgmcml_core.dir/dpa_flow.cpp.o.d"
+  "/root/repo/src/core/ise_experiment.cpp" "src/core/CMakeFiles/pgmcml_core.dir/ise_experiment.cpp.o" "gcc" "src/core/CMakeFiles/pgmcml_core.dir/ise_experiment.cpp.o.d"
+  "/root/repo/src/core/sbox_unit.cpp" "src/core/CMakeFiles/pgmcml_core.dir/sbox_unit.cpp.o" "gcc" "src/core/CMakeFiles/pgmcml_core.dir/sbox_unit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aes/CMakeFiles/pgmcml_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/pgmcml_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/pgmcml_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/or1k/CMakeFiles/pgmcml_or1k.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pgmcml_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sca/CMakeFiles/pgmcml_sca.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/pgmcml_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcml/CMakeFiles/pgmcml_mcml.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/pgmcml_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgmcml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmcml_core.dir/aes_core.cpp.o"
+  "CMakeFiles/pgmcml_core.dir/aes_core.cpp.o.d"
+  "CMakeFiles/pgmcml_core.dir/dpa_flow.cpp.o"
+  "CMakeFiles/pgmcml_core.dir/dpa_flow.cpp.o.d"
+  "CMakeFiles/pgmcml_core.dir/ise_experiment.cpp.o"
+  "CMakeFiles/pgmcml_core.dir/ise_experiment.cpp.o.d"
+  "CMakeFiles/pgmcml_core.dir/sbox_unit.cpp.o"
+  "CMakeFiles/pgmcml_core.dir/sbox_unit.cpp.o.d"
+  "libpgmcml_core.a"
+  "libpgmcml_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmcml_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcml/area.cpp" "src/mcml/CMakeFiles/pgmcml_mcml.dir/area.cpp.o" "gcc" "src/mcml/CMakeFiles/pgmcml_mcml.dir/area.cpp.o.d"
+  "/root/repo/src/mcml/bias.cpp" "src/mcml/CMakeFiles/pgmcml_mcml.dir/bias.cpp.o" "gcc" "src/mcml/CMakeFiles/pgmcml_mcml.dir/bias.cpp.o.d"
+  "/root/repo/src/mcml/builder.cpp" "src/mcml/CMakeFiles/pgmcml_mcml.dir/builder.cpp.o" "gcc" "src/mcml/CMakeFiles/pgmcml_mcml.dir/builder.cpp.o.d"
+  "/root/repo/src/mcml/cells.cpp" "src/mcml/CMakeFiles/pgmcml_mcml.dir/cells.cpp.o" "gcc" "src/mcml/CMakeFiles/pgmcml_mcml.dir/cells.cpp.o.d"
+  "/root/repo/src/mcml/characterize.cpp" "src/mcml/CMakeFiles/pgmcml_mcml.dir/characterize.cpp.o" "gcc" "src/mcml/CMakeFiles/pgmcml_mcml.dir/characterize.cpp.o.d"
+  "/root/repo/src/mcml/design.cpp" "src/mcml/CMakeFiles/pgmcml_mcml.dir/design.cpp.o" "gcc" "src/mcml/CMakeFiles/pgmcml_mcml.dir/design.cpp.o.d"
+  "/root/repo/src/mcml/dycml.cpp" "src/mcml/CMakeFiles/pgmcml_mcml.dir/dycml.cpp.o" "gcc" "src/mcml/CMakeFiles/pgmcml_mcml.dir/dycml.cpp.o.d"
+  "/root/repo/src/mcml/montecarlo.cpp" "src/mcml/CMakeFiles/pgmcml_mcml.dir/montecarlo.cpp.o" "gcc" "src/mcml/CMakeFiles/pgmcml_mcml.dir/montecarlo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/pgmcml_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgmcml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

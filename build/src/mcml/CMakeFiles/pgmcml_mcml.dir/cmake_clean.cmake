@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmcml_mcml.dir/area.cpp.o"
+  "CMakeFiles/pgmcml_mcml.dir/area.cpp.o.d"
+  "CMakeFiles/pgmcml_mcml.dir/bias.cpp.o"
+  "CMakeFiles/pgmcml_mcml.dir/bias.cpp.o.d"
+  "CMakeFiles/pgmcml_mcml.dir/builder.cpp.o"
+  "CMakeFiles/pgmcml_mcml.dir/builder.cpp.o.d"
+  "CMakeFiles/pgmcml_mcml.dir/cells.cpp.o"
+  "CMakeFiles/pgmcml_mcml.dir/cells.cpp.o.d"
+  "CMakeFiles/pgmcml_mcml.dir/characterize.cpp.o"
+  "CMakeFiles/pgmcml_mcml.dir/characterize.cpp.o.d"
+  "CMakeFiles/pgmcml_mcml.dir/design.cpp.o"
+  "CMakeFiles/pgmcml_mcml.dir/design.cpp.o.d"
+  "CMakeFiles/pgmcml_mcml.dir/dycml.cpp.o"
+  "CMakeFiles/pgmcml_mcml.dir/dycml.cpp.o.d"
+  "CMakeFiles/pgmcml_mcml.dir/montecarlo.cpp.o"
+  "CMakeFiles/pgmcml_mcml.dir/montecarlo.cpp.o.d"
+  "libpgmcml_mcml.a"
+  "libpgmcml_mcml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmcml_mcml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

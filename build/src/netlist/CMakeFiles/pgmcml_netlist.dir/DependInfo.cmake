@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/design.cpp" "src/netlist/CMakeFiles/pgmcml_netlist.dir/design.cpp.o" "gcc" "src/netlist/CMakeFiles/pgmcml_netlist.dir/design.cpp.o.d"
+  "/root/repo/src/netlist/export.cpp" "src/netlist/CMakeFiles/pgmcml_netlist.dir/export.cpp.o" "gcc" "src/netlist/CMakeFiles/pgmcml_netlist.dir/export.cpp.o.d"
+  "/root/repo/src/netlist/logicsim.cpp" "src/netlist/CMakeFiles/pgmcml_netlist.dir/logicsim.cpp.o" "gcc" "src/netlist/CMakeFiles/pgmcml_netlist.dir/logicsim.cpp.o.d"
+  "/root/repo/src/netlist/place.cpp" "src/netlist/CMakeFiles/pgmcml_netlist.dir/place.cpp.o" "gcc" "src/netlist/CMakeFiles/pgmcml_netlist.dir/place.cpp.o.d"
+  "/root/repo/src/netlist/sdf.cpp" "src/netlist/CMakeFiles/pgmcml_netlist.dir/sdf.cpp.o" "gcc" "src/netlist/CMakeFiles/pgmcml_netlist.dir/sdf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cells/CMakeFiles/pgmcml_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcml/CMakeFiles/pgmcml_mcml.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/pgmcml_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgmcml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmcml_netlist.dir/design.cpp.o"
+  "CMakeFiles/pgmcml_netlist.dir/design.cpp.o.d"
+  "CMakeFiles/pgmcml_netlist.dir/export.cpp.o"
+  "CMakeFiles/pgmcml_netlist.dir/export.cpp.o.d"
+  "CMakeFiles/pgmcml_netlist.dir/logicsim.cpp.o"
+  "CMakeFiles/pgmcml_netlist.dir/logicsim.cpp.o.d"
+  "CMakeFiles/pgmcml_netlist.dir/place.cpp.o"
+  "CMakeFiles/pgmcml_netlist.dir/place.cpp.o.d"
+  "CMakeFiles/pgmcml_netlist.dir/sdf.cpp.o"
+  "CMakeFiles/pgmcml_netlist.dir/sdf.cpp.o.d"
+  "libpgmcml_netlist.a"
+  "libpgmcml_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmcml_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

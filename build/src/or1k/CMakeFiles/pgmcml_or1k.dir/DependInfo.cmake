@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/or1k/aes_program.cpp" "src/or1k/CMakeFiles/pgmcml_or1k.dir/aes_program.cpp.o" "gcc" "src/or1k/CMakeFiles/pgmcml_or1k.dir/aes_program.cpp.o.d"
+  "/root/repo/src/or1k/cpu.cpp" "src/or1k/CMakeFiles/pgmcml_or1k.dir/cpu.cpp.o" "gcc" "src/or1k/CMakeFiles/pgmcml_or1k.dir/cpu.cpp.o.d"
+  "/root/repo/src/or1k/isa.cpp" "src/or1k/CMakeFiles/pgmcml_or1k.dir/isa.cpp.o" "gcc" "src/or1k/CMakeFiles/pgmcml_or1k.dir/isa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aes/CMakeFiles/pgmcml_aes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

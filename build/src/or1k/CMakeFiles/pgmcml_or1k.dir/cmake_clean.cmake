@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmcml_or1k.dir/aes_program.cpp.o"
+  "CMakeFiles/pgmcml_or1k.dir/aes_program.cpp.o.d"
+  "CMakeFiles/pgmcml_or1k.dir/cpu.cpp.o"
+  "CMakeFiles/pgmcml_or1k.dir/cpu.cpp.o.d"
+  "CMakeFiles/pgmcml_or1k.dir/isa.cpp.o"
+  "CMakeFiles/pgmcml_or1k.dir/isa.cpp.o.d"
+  "libpgmcml_or1k.a"
+  "libpgmcml_or1k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmcml_or1k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/integrity.cpp" "src/power/CMakeFiles/pgmcml_power.dir/integrity.cpp.o" "gcc" "src/power/CMakeFiles/pgmcml_power.dir/integrity.cpp.o.d"
+  "/root/repo/src/power/kernels.cpp" "src/power/CMakeFiles/pgmcml_power.dir/kernels.cpp.o" "gcc" "src/power/CMakeFiles/pgmcml_power.dir/kernels.cpp.o.d"
+  "/root/repo/src/power/tracer.cpp" "src/power/CMakeFiles/pgmcml_power.dir/tracer.cpp.o" "gcc" "src/power/CMakeFiles/pgmcml_power.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/pgmcml_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/pgmcml_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcml/CMakeFiles/pgmcml_mcml.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/pgmcml_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgmcml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmcml_power.dir/integrity.cpp.o"
+  "CMakeFiles/pgmcml_power.dir/integrity.cpp.o.d"
+  "CMakeFiles/pgmcml_power.dir/kernels.cpp.o"
+  "CMakeFiles/pgmcml_power.dir/kernels.cpp.o.d"
+  "CMakeFiles/pgmcml_power.dir/tracer.cpp.o"
+  "CMakeFiles/pgmcml_power.dir/tracer.cpp.o.d"
+  "libpgmcml_power.a"
+  "libpgmcml_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmcml_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

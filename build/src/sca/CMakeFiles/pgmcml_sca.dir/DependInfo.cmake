@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sca/attack.cpp" "src/sca/CMakeFiles/pgmcml_sca.dir/attack.cpp.o" "gcc" "src/sca/CMakeFiles/pgmcml_sca.dir/attack.cpp.o.d"
+  "/root/repo/src/sca/traces.cpp" "src/sca/CMakeFiles/pgmcml_sca.dir/traces.cpp.o" "gcc" "src/sca/CMakeFiles/pgmcml_sca.dir/traces.cpp.o.d"
+  "/root/repo/src/sca/tvla.cpp" "src/sca/CMakeFiles/pgmcml_sca.dir/tvla.cpp.o" "gcc" "src/sca/CMakeFiles/pgmcml_sca.dir/tvla.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aes/CMakeFiles/pgmcml_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgmcml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

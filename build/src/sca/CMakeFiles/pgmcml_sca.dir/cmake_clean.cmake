@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmcml_sca.dir/attack.cpp.o"
+  "CMakeFiles/pgmcml_sca.dir/attack.cpp.o.d"
+  "CMakeFiles/pgmcml_sca.dir/traces.cpp.o"
+  "CMakeFiles/pgmcml_sca.dir/traces.cpp.o.d"
+  "CMakeFiles/pgmcml_sca.dir/tvla.cpp.o"
+  "CMakeFiles/pgmcml_sca.dir/tvla.cpp.o.d"
+  "libpgmcml_sca.a"
+  "libpgmcml_sca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmcml_sca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpgmcml_sca.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/circuit.cpp" "src/spice/CMakeFiles/pgmcml_spice.dir/circuit.cpp.o" "gcc" "src/spice/CMakeFiles/pgmcml_spice.dir/circuit.cpp.o.d"
+  "/root/repo/src/spice/deck.cpp" "src/spice/CMakeFiles/pgmcml_spice.dir/deck.cpp.o" "gcc" "src/spice/CMakeFiles/pgmcml_spice.dir/deck.cpp.o.d"
+  "/root/repo/src/spice/engine.cpp" "src/spice/CMakeFiles/pgmcml_spice.dir/engine.cpp.o" "gcc" "src/spice/CMakeFiles/pgmcml_spice.dir/engine.cpp.o.d"
+  "/root/repo/src/spice/mosfet.cpp" "src/spice/CMakeFiles/pgmcml_spice.dir/mosfet.cpp.o" "gcc" "src/spice/CMakeFiles/pgmcml_spice.dir/mosfet.cpp.o.d"
+  "/root/repo/src/spice/source.cpp" "src/spice/CMakeFiles/pgmcml_spice.dir/source.cpp.o" "gcc" "src/spice/CMakeFiles/pgmcml_spice.dir/source.cpp.o.d"
+  "/root/repo/src/spice/technology.cpp" "src/spice/CMakeFiles/pgmcml_spice.dir/technology.cpp.o" "gcc" "src/spice/CMakeFiles/pgmcml_spice.dir/technology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pgmcml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmcml_spice.dir/circuit.cpp.o"
+  "CMakeFiles/pgmcml_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/pgmcml_spice.dir/deck.cpp.o"
+  "CMakeFiles/pgmcml_spice.dir/deck.cpp.o.d"
+  "CMakeFiles/pgmcml_spice.dir/engine.cpp.o"
+  "CMakeFiles/pgmcml_spice.dir/engine.cpp.o.d"
+  "CMakeFiles/pgmcml_spice.dir/mosfet.cpp.o"
+  "CMakeFiles/pgmcml_spice.dir/mosfet.cpp.o.d"
+  "CMakeFiles/pgmcml_spice.dir/source.cpp.o"
+  "CMakeFiles/pgmcml_spice.dir/source.cpp.o.d"
+  "CMakeFiles/pgmcml_spice.dir/technology.cpp.o"
+  "CMakeFiles/pgmcml_spice.dir/technology.cpp.o.d"
+  "libpgmcml_spice.a"
+  "libpgmcml_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmcml_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

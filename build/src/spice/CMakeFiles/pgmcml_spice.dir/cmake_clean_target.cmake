@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpgmcml_spice.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/lut.cpp" "src/synth/CMakeFiles/pgmcml_synth.dir/lut.cpp.o" "gcc" "src/synth/CMakeFiles/pgmcml_synth.dir/lut.cpp.o.d"
+  "/root/repo/src/synth/map.cpp" "src/synth/CMakeFiles/pgmcml_synth.dir/map.cpp.o" "gcc" "src/synth/CMakeFiles/pgmcml_synth.dir/map.cpp.o.d"
+  "/root/repo/src/synth/module.cpp" "src/synth/CMakeFiles/pgmcml_synth.dir/module.cpp.o" "gcc" "src/synth/CMakeFiles/pgmcml_synth.dir/module.cpp.o.d"
+  "/root/repo/src/synth/sleep_tree.cpp" "src/synth/CMakeFiles/pgmcml_synth.dir/sleep_tree.cpp.o" "gcc" "src/synth/CMakeFiles/pgmcml_synth.dir/sleep_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/pgmcml_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/pgmcml_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcml/CMakeFiles/pgmcml_mcml.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/pgmcml_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgmcml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmcml_synth.dir/lut.cpp.o"
+  "CMakeFiles/pgmcml_synth.dir/lut.cpp.o.d"
+  "CMakeFiles/pgmcml_synth.dir/map.cpp.o"
+  "CMakeFiles/pgmcml_synth.dir/map.cpp.o.d"
+  "CMakeFiles/pgmcml_synth.dir/module.cpp.o"
+  "CMakeFiles/pgmcml_synth.dir/module.cpp.o.d"
+  "CMakeFiles/pgmcml_synth.dir/sleep_tree.cpp.o"
+  "CMakeFiles/pgmcml_synth.dir/sleep_tree.cpp.o.d"
+  "libpgmcml_synth.a"
+  "libpgmcml_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmcml_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmcml_util.dir/matrix.cpp.o"
+  "CMakeFiles/pgmcml_util.dir/matrix.cpp.o.d"
+  "CMakeFiles/pgmcml_util.dir/stats.cpp.o"
+  "CMakeFiles/pgmcml_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pgmcml_util.dir/table.cpp.o"
+  "CMakeFiles/pgmcml_util.dir/table.cpp.o.d"
+  "CMakeFiles/pgmcml_util.dir/waveform.cpp.o"
+  "CMakeFiles/pgmcml_util.dir/waveform.cpp.o.d"
+  "libpgmcml_util.a"
+  "libpgmcml_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmcml_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

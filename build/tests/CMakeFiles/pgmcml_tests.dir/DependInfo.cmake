@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aes/test_aes.cpp" "tests/CMakeFiles/pgmcml_tests.dir/aes/test_aes.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/aes/test_aes.cpp.o.d"
+  "/root/repo/tests/cells/test_library.cpp" "tests/CMakeFiles/pgmcml_tests.dir/cells/test_library.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/cells/test_library.cpp.o.d"
+  "/root/repo/tests/core/test_aes_core.cpp" "tests/CMakeFiles/pgmcml_tests.dir/core/test_aes_core.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/core/test_aes_core.cpp.o.d"
+  "/root/repo/tests/core/test_core.cpp" "tests/CMakeFiles/pgmcml_tests.dir/core/test_core.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/core/test_core.cpp.o.d"
+  "/root/repo/tests/export/test_export.cpp" "tests/CMakeFiles/pgmcml_tests.dir/export/test_export.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/export/test_export.cpp.o.d"
+  "/root/repo/tests/mcml/test_area.cpp" "tests/CMakeFiles/pgmcml_tests.dir/mcml/test_area.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/mcml/test_area.cpp.o.d"
+  "/root/repo/tests/mcml/test_bias.cpp" "tests/CMakeFiles/pgmcml_tests.dir/mcml/test_bias.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/mcml/test_bias.cpp.o.d"
+  "/root/repo/tests/mcml/test_builder_logic.cpp" "tests/CMakeFiles/pgmcml_tests.dir/mcml/test_builder_logic.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/mcml/test_builder_logic.cpp.o.d"
+  "/root/repo/tests/mcml/test_cells_meta.cpp" "tests/CMakeFiles/pgmcml_tests.dir/mcml/test_cells_meta.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/mcml/test_cells_meta.cpp.o.d"
+  "/root/repo/tests/mcml/test_characterize.cpp" "tests/CMakeFiles/pgmcml_tests.dir/mcml/test_characterize.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/mcml/test_characterize.cpp.o.d"
+  "/root/repo/tests/mcml/test_dycml.cpp" "tests/CMakeFiles/pgmcml_tests.dir/mcml/test_dycml.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/mcml/test_dycml.cpp.o.d"
+  "/root/repo/tests/mcml/test_gating.cpp" "tests/CMakeFiles/pgmcml_tests.dir/mcml/test_gating.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/mcml/test_gating.cpp.o.d"
+  "/root/repo/tests/mcml/test_library_sweep.cpp" "tests/CMakeFiles/pgmcml_tests.dir/mcml/test_library_sweep.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/mcml/test_library_sweep.cpp.o.d"
+  "/root/repo/tests/mcml/test_montecarlo.cpp" "tests/CMakeFiles/pgmcml_tests.dir/mcml/test_montecarlo.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/mcml/test_montecarlo.cpp.o.d"
+  "/root/repo/tests/netlist/test_design.cpp" "tests/CMakeFiles/pgmcml_tests.dir/netlist/test_design.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/netlist/test_design.cpp.o.d"
+  "/root/repo/tests/netlist/test_lint.cpp" "tests/CMakeFiles/pgmcml_tests.dir/netlist/test_lint.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/netlist/test_lint.cpp.o.d"
+  "/root/repo/tests/netlist/test_logicsim.cpp" "tests/CMakeFiles/pgmcml_tests.dir/netlist/test_logicsim.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/netlist/test_logicsim.cpp.o.d"
+  "/root/repo/tests/netlist/test_place.cpp" "tests/CMakeFiles/pgmcml_tests.dir/netlist/test_place.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/netlist/test_place.cpp.o.d"
+  "/root/repo/tests/netlist/test_sdf.cpp" "tests/CMakeFiles/pgmcml_tests.dir/netlist/test_sdf.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/netlist/test_sdf.cpp.o.d"
+  "/root/repo/tests/or1k/test_or1k.cpp" "tests/CMakeFiles/pgmcml_tests.dir/or1k/test_or1k.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/or1k/test_or1k.cpp.o.d"
+  "/root/repo/tests/power/test_integrity.cpp" "tests/CMakeFiles/pgmcml_tests.dir/power/test_integrity.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/power/test_integrity.cpp.o.d"
+  "/root/repo/tests/power/test_power.cpp" "tests/CMakeFiles/pgmcml_tests.dir/power/test_power.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/power/test_power.cpp.o.d"
+  "/root/repo/tests/property/test_properties.cpp" "tests/CMakeFiles/pgmcml_tests.dir/property/test_properties.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/property/test_properties.cpp.o.d"
+  "/root/repo/tests/sca/test_sca.cpp" "tests/CMakeFiles/pgmcml_tests.dir/sca/test_sca.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/sca/test_sca.cpp.o.d"
+  "/root/repo/tests/sca/test_second_order.cpp" "tests/CMakeFiles/pgmcml_tests.dir/sca/test_second_order.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/sca/test_second_order.cpp.o.d"
+  "/root/repo/tests/sca/test_tvla.cpp" "tests/CMakeFiles/pgmcml_tests.dir/sca/test_tvla.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/sca/test_tvla.cpp.o.d"
+  "/root/repo/tests/spice/test_dc.cpp" "tests/CMakeFiles/pgmcml_tests.dir/spice/test_dc.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/spice/test_dc.cpp.o.d"
+  "/root/repo/tests/spice/test_dc_sweep.cpp" "tests/CMakeFiles/pgmcml_tests.dir/spice/test_dc_sweep.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/spice/test_dc_sweep.cpp.o.d"
+  "/root/repo/tests/spice/test_mosfet.cpp" "tests/CMakeFiles/pgmcml_tests.dir/spice/test_mosfet.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/spice/test_mosfet.cpp.o.d"
+  "/root/repo/tests/spice/test_robustness.cpp" "tests/CMakeFiles/pgmcml_tests.dir/spice/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/spice/test_robustness.cpp.o.d"
+  "/root/repo/tests/spice/test_technology.cpp" "tests/CMakeFiles/pgmcml_tests.dir/spice/test_technology.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/spice/test_technology.cpp.o.d"
+  "/root/repo/tests/spice/test_transient.cpp" "tests/CMakeFiles/pgmcml_tests.dir/spice/test_transient.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/spice/test_transient.cpp.o.d"
+  "/root/repo/tests/synth/test_map_and_lut.cpp" "tests/CMakeFiles/pgmcml_tests.dir/synth/test_map_and_lut.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/synth/test_map_and_lut.cpp.o.d"
+  "/root/repo/tests/synth/test_module.cpp" "tests/CMakeFiles/pgmcml_tests.dir/synth/test_module.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/synth/test_module.cpp.o.d"
+  "/root/repo/tests/synth/test_sleep_tree.cpp" "tests/CMakeFiles/pgmcml_tests.dir/synth/test_sleep_tree.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/synth/test_sleep_tree.cpp.o.d"
+  "/root/repo/tests/util/test_matrix.cpp" "tests/CMakeFiles/pgmcml_tests.dir/util/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/util/test_matrix.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/pgmcml_tests.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/pgmcml_tests.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/pgmcml_tests.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/util/test_table.cpp.o.d"
+  "/root/repo/tests/util/test_waveform.cpp" "tests/CMakeFiles/pgmcml_tests.dir/util/test_waveform.cpp.o" "gcc" "tests/CMakeFiles/pgmcml_tests.dir/util/test_waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pgmcml_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pgmcml_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sca/CMakeFiles/pgmcml_sca.dir/DependInfo.cmake"
+  "/root/repo/build/src/or1k/CMakeFiles/pgmcml_or1k.dir/DependInfo.cmake"
+  "/root/repo/build/src/aes/CMakeFiles/pgmcml_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/pgmcml_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/pgmcml_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/pgmcml_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcml/CMakeFiles/pgmcml_mcml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgmcml_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/pgmcml_spice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
