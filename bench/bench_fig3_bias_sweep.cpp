@@ -24,16 +24,18 @@ void print_fig3() {
   util::Table t("Fig. 3 -- MCML buffer bias-current sweep");
   t.header({"Iss [uA]", "Vn [V]", "Vp [V]", "delay FO1", "delay FO4",
             "P = Vdd*Iss", "P*D (FO4)", "A*D (FO4)"});
+  // All sweep points run on the parallel-execution layer (PGMCML_THREADS).
+  const std::vector<mcml::BufferSweepPoint> sweep =
+      mcml::sweep_buffer_bias(base, currents);
   std::vector<mcml::BufferSweepPoint> points;
-  for (double iss : currents) {
-    const auto pt = mcml::characterize_buffer_at(base, iss);
+  for (const auto& pt : sweep) {
     if (!pt.ok) {
-      t.row({util::Table::num(iss * 1e6, 0), "-", "-", "(bias failed)", "-",
+      t.row({util::Table::num(pt.iss * 1e6, 0), "-", "-", "(bias failed)", "-",
              "-", "-", "-"});
       continue;
     }
     points.push_back(pt);
-    t.row({util::Table::num(iss * 1e6, 0), util::Table::num(pt.vn, 3),
+    t.row({util::Table::num(pt.iss * 1e6, 0), util::Table::num(pt.vn, 3),
            util::Table::num(pt.vp, 3), util::Table::eng(pt.delay_fo1, "s"),
            util::Table::eng(pt.delay_fo4, "s"), util::Table::eng(pt.power, "W"),
            util::Table::eng(pt.power_delay(), "Ws"),

@@ -1,0 +1,171 @@
+// Pipeline-level benchmark for the parallel-execution layer: times every
+// parallelized stage of the evaluation flow once with 1 worker (the serial
+// fallback) and once with the configured worker count (PGMCML_THREADS or
+// hardware_concurrency), checks that both runs produce bitwise-identical
+// results, and writes the measurements to BENCH_pipeline.json for machine
+// consumption.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pgmcml/core/dpa_flow.hpp"
+#include "pgmcml/mcml/characterize.hpp"
+#include "pgmcml/mcml/montecarlo.hpp"
+#include "pgmcml/spice/engine.hpp"
+#include "pgmcml/util/parallel.hpp"
+
+namespace {
+
+using namespace pgmcml;
+using cells::CellLibrary;
+
+double now_seconds() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
+}
+
+struct StageResult {
+  std::string name;
+  double serial_s = 0.0;
+  double parallel_s = 0.0;
+  bool deterministic = false;
+  double speedup() const {
+    return parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+  }
+};
+
+/// Runs `stage` (which returns a checksum) once at 1 thread and once at the
+/// configured count, verifying the checksums match bitwise.
+StageResult time_stage(const std::string& name,
+                       const std::function<double()>& stage) {
+  StageResult r;
+  r.name = name;
+
+  util::set_parallel_threads(1);
+  double t0 = now_seconds();
+  const double serial_sum = stage();
+  r.serial_s = now_seconds() - t0;
+
+  util::set_parallel_threads(0);  // env / hardware default
+  t0 = now_seconds();
+  const double parallel_sum = stage();
+  r.parallel_s = now_seconds() - t0;
+
+  r.deterministic = serial_sum == parallel_sum;
+  std::printf("  %-16s serial %8.3f s   parallel %8.3f s   x%.2f   %s\n",
+              name.c_str(), r.serial_s, r.parallel_s, r.speedup(),
+              r.deterministic ? "bitwise-identical" : "MISMATCH");
+  return r;
+}
+
+double checksum(const sca::TraceSet& ts) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < ts.num_traces(); ++i) {
+    sum += ts.plaintext(i);
+    const auto& t = ts.trace(i);
+    for (std::size_t j = 0; j < t.size(); ++j) sum += t[j];
+  }
+  return sum;
+}
+
+std::unique_ptr<spice::Circuit> make_divider() {
+  auto c = std::make_unique<spice::Circuit>();
+  const auto n1 = c->node("in");
+  const auto n2 = c->node("mid");
+  c->add_vsource("V1", n1, c->gnd(), spice::SourceSpec::dc(0.0));
+  c->add_resistor("R1", n1, n2, 1e3);
+  c->add_resistor("R2", n2, c->gnd(), 2e3);
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t nthreads = util::parallel_threads();
+  std::printf("Pipeline benchmark: 1 thread vs %zu threads\n\n", nthreads);
+
+  // Fixed, modest workloads: large enough to expose the per-stage costs,
+  // small enough to finish in minutes on one core.
+  core::DpaFlowOptions acq_opt;
+  acq_opt.num_traces = 192;
+  acq_opt.samples = 400;
+
+  // The CPA stage attacks a fixed trace set acquired once up front.
+  const sca::TraceSet cpa_input =
+      core::acquire_reduced_aes_traces(CellLibrary::cmos90(), acq_opt);
+
+  std::vector<StageResult> stages;
+
+  stages.push_back(time_stage("acquire", [&] {
+    return checksum(
+        core::acquire_reduced_aes_traces(CellLibrary::pgmcml90(), acq_opt));
+  }));
+
+  stages.push_back(time_stage("cpa", [&] {
+    const sca::CpaResult r = sca::cpa_attack(cpa_input);
+    double sum = 0.0;
+    for (double v : r.peak_correlation) sum += v;
+    return sum;
+  }));
+
+  stages.push_back(time_stage("montecarlo", [&] {
+    const mcml::MonteCarloResult r = mcml::monte_carlo_characterize(
+        mcml::CellKind::kBuf, mcml::McmlDesign{}, 6);
+    return r.delay.mean() + r.swing.mean() + r.static_current.mean() +
+           static_cast<double>(r.failures);
+  }));
+
+  stages.push_back(time_stage("bias_sweep", [&] {
+    const auto pts =
+        mcml::sweep_buffer_bias(mcml::McmlDesign{}, {35e-6, 50e-6, 75e-6});
+    double sum = 0.0;
+    for (const auto& pt : pts) sum += pt.delay_fo1 + pt.delay_fo4 + pt.vn;
+    return sum;
+  }));
+
+  stages.push_back(time_stage("dc_sweep_batch", [&] {
+    std::vector<double> values;
+    for (int i = 0; i <= 256; ++i) values.push_back(i * (2.5 / 256.0));
+    const auto results = spice::dc_sweep_batch(make_divider, "V1", values);
+    double sum = 0.0;
+    for (const auto& r : results) {
+      for (double v : r.x) sum += v;
+    }
+    return sum;
+  }));
+
+  util::set_parallel_threads(0);
+
+  std::FILE* f = std::fopen("BENCH_pipeline.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_pipeline.json for writing\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"threads_serial\": 1,\n  \"threads_parallel\": %zu,\n",
+               nthreads);
+  std::fprintf(f, "  \"stages\": [\n");
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const StageResult& s = stages[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"serial_s\": %.6f, \"parallel_s\": "
+                 "%.6f, \"speedup\": %.4f, \"deterministic\": %s}%s\n",
+                 s.name.c_str(), s.serial_s, s.parallel_s, s.speedup(),
+                 s.deterministic ? "true" : "false",
+                 i + 1 < stages.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nWrote BENCH_pipeline.json\n");
+
+  for (const StageResult& s : stages) {
+    if (!s.deterministic) {
+      std::fprintf(stderr, "stage %s: serial/parallel results differ\n",
+                   s.name.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

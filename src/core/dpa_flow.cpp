@@ -3,6 +3,7 @@
 #include "pgmcml/core/sbox_unit.hpp"
 #include "pgmcml/netlist/logicsim.hpp"
 #include "pgmcml/power/kernels.hpp"
+#include "pgmcml/util/parallel.hpp"
 #include "pgmcml/util/rng.hpp"
 #include "pgmcml/util/stats.hpp"
 
@@ -57,13 +58,18 @@ Acquisition acquire(const cells::CellLibrary& library,
     schedule.awake.push_back({0.2e-9, 0.4e-9 + options.dt * options.samples});
   }
 
-  util::Rng rng(options.seed);
   Acquisition out;
   out.stats = design.stats(library);
   out.traces = sca::TraceSet(options.samples);
-  util::RunningStats current_stats;
+  out.traces.reserve(options.num_traces);
 
-  for (std::size_t t = 0; t < options.num_traces; ++t) {
+  // Every trace is an independent simulation: its own LogicSim and its own
+  // RNG stream derived from (seed, trace index), so the acquisition is
+  // bitwise identical at any thread count (and under the serial fallback).
+  std::vector<std::uint8_t> plaintexts(options.num_traces, 0);
+  std::vector<std::vector<double>> acquired(options.num_traces);
+  util::parallel_for(options.num_traces, [&](std::size_t t) {
+    util::Rng rng = util::Rng::stream(options.seed, t);
     const auto plaintext =
         options.fixed_plaintext >= 0
             ? static_cast<std::uint8_t>(options.fixed_plaintext)
@@ -86,9 +92,15 @@ Acquisition acquire(const cells::CellLibrary& library,
     }
     sim.apply_and_settle(stimulus);
 
-    std::vector<double> trace = tracer.trace(sim.events(), schedule, t);
-    current_stats.add(util::mean(trace));
-    out.traces.add(plaintext, std::move(trace));
+    plaintexts[t] = plaintext;
+    acquired[t] = tracer.trace(sim.events(), schedule, t);
+  });
+
+  // Ordered merge: accumulator order matches the serial loop exactly.
+  util::RunningStats current_stats;
+  for (std::size_t t = 0; t < options.num_traces; ++t) {
+    current_stats.add(util::mean(acquired[t]));
+    out.traces.add(plaintexts[t], std::move(acquired[t]));
   }
   out.mean_current = current_stats.mean();
   return out;

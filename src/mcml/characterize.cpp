@@ -7,6 +7,7 @@
 
 #include "pgmcml/mcml/area.hpp"
 #include "pgmcml/mcml/bias.hpp"
+#include "pgmcml/util/parallel.hpp"
 #include "pgmcml/util/units.hpp"
 
 namespace pgmcml::mcml {
@@ -339,6 +340,13 @@ BufferSweepPoint characterize_buffer_at(const McmlDesign& base, double iss) {
   pt.area = pitches * area.pg_pitch() * area.cell_height();
   pt.ok = true;
   return pt;
+}
+
+std::vector<BufferSweepPoint> sweep_buffer_bias(
+    const McmlDesign& base, const std::vector<double>& currents) {
+  return util::parallel_map(currents.size(), [&](std::size_t i) {
+    return characterize_buffer_at(base, currents[i]);
+  });
 }
 
 }  // namespace pgmcml::mcml

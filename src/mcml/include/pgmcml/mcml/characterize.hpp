@@ -50,6 +50,13 @@ struct BufferSweepPoint {
 /// resize the tail/pairs to keep overdrives constant).
 BufferSweepPoint characterize_buffer_at(const McmlDesign& base, double iss);
 
+/// Characterizes the buffer at every tail current in `currents` (the Fig. 3
+/// design-space sweep).  Points are mutually independent, so they run on the
+/// parallel-execution layer; the result order matches `currents` and is
+/// bitwise identical at any thread count.
+std::vector<BufferSweepPoint> sweep_buffer_bias(
+    const McmlDesign& base, const std::vector<double>& currents);
+
 /// Reusable testbench: cell + rails + stimulus, for tests and benches that
 /// need waveform-level access.
 /// Testbench construction options.  `sleep_pulse` replaces the DC-awake

@@ -1,9 +1,25 @@
 #include "pgmcml/mcml/montecarlo.hpp"
 
 #include "pgmcml/mcml/bias.hpp"
+#include "pgmcml/util/parallel.hpp"
 #include "pgmcml/util/units.hpp"
 
 namespace pgmcml::mcml {
+
+namespace {
+
+/// Per-sample outcome, collected in index order so the RunningStats
+/// accumulators see the same sequence as the original serial loop.
+struct SampleOutcome {
+  bool failed = false;
+  double delay = 0.0;
+  double swing = 0.0;
+  double static_current = 0.0;
+  bool has_sleep = false;
+  double sleep_current = 0.0;
+};
+
+}  // namespace
 
 MonteCarloResult monte_carlo_characterize(CellKind kind,
                                           const McmlDesign& design, int n,
@@ -21,9 +37,19 @@ MonteCarloResult monte_carlo_characterize(CellKind kind,
     return result;
   }
 
+  // Fork all sample streams up front from the master, in order: the draw
+  // sequence (and therefore every sample's mismatch) is identical to the
+  // serial loop, independent of how the samples are later scheduled.
+  const std::size_t count = n > 0 ? static_cast<std::size_t>(n) : 0;
   util::Rng master(seed);
-  for (int i = 0; i < n; ++i) {
-    util::Rng sample_rng = master.fork();
+  std::vector<util::Rng> streams;
+  streams.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) streams.push_back(master.fork());
+
+  std::vector<SampleOutcome> outcomes(count);
+  util::parallel_for(count, [&](std::size_t i) {
+    SampleOutcome& out = outcomes[i];
+    util::Rng sample_rng = streams[i];
     McmlDesign sample = nominal;
     sample.mismatch_rng = &sample_rng;
 
@@ -32,8 +58,8 @@ MonteCarloResult monte_carlo_characterize(CellKind kind,
     McmlTestbench bench(kind, sample, opt);
     const spice::TranResult tr = bench.run();
     if (!tr.ok) {
-      ++result.failures;
-      continue;
+      out.failed = true;
+      return;
     }
     const util::Waveform vout = bench.diff_output(tr);
     const auto edges = bench.stimulus_edges();
@@ -50,15 +76,15 @@ MonteCarloResult monte_carlo_characterize(CellKind kind,
       }
     }
     if (delay_n == 0) {
-      ++result.failures;
-      continue;
+      out.failed = true;
+      return;
     }
-    result.delay.add(delay_sum / delay_n);
-    result.swing.add(0.5 * (vout.max_value() - vout.min_value()));
+    out.delay = delay_sum / delay_n;
+    out.swing = 0.5 * (vout.max_value() - vout.min_value());
     const util::Waveform isup = bench.supply_current(tr);
     const double lo = bench.sequential() ? 3.6e-9 : 1.0e-9;
     const double hi = bench.sequential() ? 4.4e-9 : 1.9e-9;
-    result.static_current.add(isup.average(lo, hi));
+    out.static_current = isup.average(lo, hi);
 
     if (sample.power_gated()) {
       util::Rng sleep_rng = sample_rng;  // same devices would need the same
@@ -73,10 +99,22 @@ MonteCarloResult monte_carlo_characterize(CellKind kind,
       if (dc.converged) {
         spice::Solution sol(dc.x, sleeping.circuit().num_nodes());
         const auto id = sleeping.circuit().find_device("VDD");
-        result.sleep_current.add(
-            -sleeping.circuit().device(id).probe_current(sol));
+        out.has_sleep = true;
+        out.sleep_current =
+            -sleeping.circuit().device(id).probe_current(sol);
       }
     }
+  });
+
+  for (const SampleOutcome& out : outcomes) {
+    if (out.failed) {
+      ++result.failures;
+      continue;
+    }
+    result.delay.add(out.delay);
+    result.swing.add(out.swing);
+    result.static_current.add(out.static_current);
+    if (out.has_sleep) result.sleep_current.add(out.sleep_current);
   }
   return result;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "pgmcml/aes/aes.hpp"
+#include "pgmcml/util/parallel.hpp"
 #include "pgmcml/util/stats.hpp"
 
 namespace pgmcml::sca {
@@ -49,13 +50,15 @@ CpaResult cpa_attack(const TraceSet& traces, LeakageModel model,
   // Precompute per-guess predictions (and their means / variances).
   // corr(guess, t) = cov(h_g, s_t) / (sigma_h * sigma_s).
   std::vector<std::array<double, 256>> h(n);
-  std::array<double, 256> h_mean{};
-  for (std::size_t i = 0; i < n; ++i) {
+  util::parallel_for(n, [&](std::size_t i) {
     for (int k = 0; k < 256; ++k) {
       h[i][k] = predict_leakage(model, traces.plaintext(i),
                                 static_cast<std::uint8_t>(k));
-      h_mean[k] += h[i][k];
     }
+  });
+  std::array<double, 256> h_mean{};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int k = 0; k < 256; ++k) h_mean[k] += h[i][k];
   }
   for (double& v : h_mean) v /= static_cast<double>(n);
   std::array<double, 256> h_var{};
@@ -65,36 +68,44 @@ CpaResult cpa_attack(const TraceSet& traces, LeakageModel model,
       h_var[k] += d * d;
     }
   }
-
-  // Column statistics of the samples.
-  const std::vector<double> s_mean = traces.mean_trace();
-  std::vector<double> s_var(m, 0.0);
+  // Center the predictions in place: the covariance pass below uses them for
+  // every sample column.
   for (std::size_t i = 0; i < n; ++i) {
-    const auto& t = traces.trace(i);
-    for (std::size_t j = 0; j < m; ++j) {
-      const double d = t[j] - s_mean[j];
-      s_var[j] += d * d;
-    }
+    for (int k = 0; k < 256; ++k) h[i][k] -= h_mean[k];
   }
+
+  const std::vector<double> s_mean = traces.mean_trace();
 
   if (keep_time_curves) {
     result.correlation_vs_time.assign(m, {});
   }
 
-  // Covariance accumulation: for each sample column, accumulate against all
-  // 256 centered predictions.
+  // Column statistics and covariance accumulation, parallel over fixed
+  // blocks of sample columns.  Each column's accumulators are written by
+  // exactly one task, and the per-column trace order (i ascending) matches
+  // the serial loop, so the sums are bitwise identical at any thread count.
+  std::vector<double> s_var(m, 0.0);
   std::vector<std::array<double, 256>> cov(m, std::array<double, 256>{});
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto& t = traces.trace(i);
-    std::array<double, 256> hc;
-    for (int k = 0; k < 256; ++k) hc[k] = h[i][k] - h_mean[k];
-    for (std::size_t j = 0; j < m; ++j) {
-      const double sc = t[j] - s_mean[j];
-      if (sc == 0.0) continue;
-      auto& c = cov[j];
-      for (int k = 0; k < 256; ++k) c[k] += hc[k] * sc;
-    }
-  }
+  constexpr std::size_t kColBlock = 64;
+  const std::size_t col_blocks = (m + kColBlock - 1) / kColBlock;
+  util::parallel_for(
+      col_blocks,
+      [&](std::size_t blk) {
+        const std::size_t j_lo = blk * kColBlock;
+        const std::size_t j_hi = std::min(m, j_lo + kColBlock);
+        for (std::size_t i = 0; i < n; ++i) {
+          const auto& t = traces.trace(i);
+          const auto& hc = h[i];
+          for (std::size_t j = j_lo; j < j_hi; ++j) {
+            const double sc = t[j] - s_mean[j];
+            s_var[j] += sc * sc;
+            if (sc == 0.0) continue;
+            auto& c = cov[j];
+            for (int k = 0; k < 256; ++k) c[k] += hc[k] * sc;
+          }
+        }
+      },
+      /*grain=*/1);
 
   for (std::size_t j = 0; j < m; ++j) {
     for (int k = 0; k < 256; ++k) {
@@ -127,7 +138,10 @@ DpaResult dpa_attack(const TraceSet& traces) {
   const std::size_t m = traces.samples_per_trace();
   if (n < 2 || m == 0) return result;
 
-  for (int k = 0; k < 256; ++k) {
+  // Each key guess partitions the traces independently: parallel over the
+  // 256 guesses, each writing only its own peak_difference slot.
+  util::parallel_for(256, [&](std::size_t kk) {
+    const int k = static_cast<int>(kk);
     std::vector<double> sum1(m, 0.0);
     std::vector<double> sum0(m, 0.0);
     std::size_t n1 = 0;
@@ -145,7 +159,7 @@ DpaResult dpa_attack(const TraceSet& traces) {
         for (std::size_t j = 0; j < m; ++j) sum0[j] += t[j];
       }
     }
-    if (n1 == 0 || n0 == 0) continue;
+    if (n1 == 0 || n0 == 0) return;
     double peak = 0.0;
     for (std::size_t j = 0; j < m; ++j) {
       const double diff = sum1[j] / static_cast<double>(n1) -
@@ -153,7 +167,7 @@ DpaResult dpa_attack(const TraceSet& traces) {
       peak = std::max(peak, std::fabs(diff));
     }
     result.peak_difference[k] = peak;
-  }
+  });
   result.best_guess = static_cast<int>(
       std::max_element(result.peak_difference.begin(),
                        result.peak_difference.end()) -
@@ -188,11 +202,18 @@ std::size_t measurements_to_disclosure(const TraceSet& traces,
   for (std::size_t g = 1; g <= grid_points; ++g) {
     grid.push_back(std::max<std::size_t>(4, g * n / grid_points));
   }
+  // Each prefix attack is independent; vector<bool> packs bits, so give
+  // every task its own byte-sized slot and copy over afterwards.
+  std::vector<std::uint8_t> ok(grid.size(), 0);
+  util::parallel_for(
+      grid.size(),
+      [&](std::size_t gi) {
+        const CpaResult r = cpa_attack(traces.prefix(grid[gi]), model);
+        ok[gi] = (r.key_rank(true_key) == 0) ? 1 : 0;
+      },
+      /*grain=*/1);
   std::vector<bool> success(grid.size(), false);
-  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
-    const CpaResult r = cpa_attack(traces.prefix(grid[gi]), model);
-    success[gi] = (r.key_rank(true_key) == 0);
-  }
+  for (std::size_t gi = 0; gi < grid.size(); ++gi) success[gi] = ok[gi] != 0;
   // Find the earliest stable success.
   for (std::size_t gi = 0; gi < grid.size(); ++gi) {
     bool stable = true;

@@ -15,18 +15,27 @@ class TraceSet {
 
   void add(std::uint8_t plaintext, std::vector<double> trace);
 
+  /// Preallocates room for n traces (bulk acquisition avoids regrowth).
+  void reserve(std::size_t n);
+
   std::size_t num_traces() const { return plaintexts_.size(); }
   std::size_t samples_per_trace() const { return samples_; }
   std::uint8_t plaintext(std::size_t i) const { return plaintexts_.at(i); }
   const std::vector<double>& trace(std::size_t i) const { return data_.at(i); }
 
-  /// Mean trace over all acquisitions.
+  /// Mean trace over all acquisitions.  Accumulated pairwise, so the error
+  /// stays O(log n · eps) even on 10^5-trace campaigns where naive left-to-
+  /// right summation loses digits.
   std::vector<double> mean_trace() const;
 
   /// Restricts to the first n traces (for measurements-to-disclosure sweeps).
   TraceSet prefix(std::size_t n) const;
 
  private:
+  /// Adds the column sums of traces [lo, hi) into `acc`, pairwise.
+  void accumulate_pairwise(std::size_t lo, std::size_t hi,
+                           std::vector<double>& acc) const;
+
   std::size_t samples_ = 0;
   std::vector<std::uint8_t> plaintexts_;
   std::vector<std::vector<double>> data_;

@@ -27,7 +27,7 @@ Resistor::Resistor(std::string name, NodeId a, NodeId b, double ohms)
 
 void Resistor::stamp(StampContext& ctx) { ctx.conductance(a_, b_, 1.0 / r_); }
 
-double Resistor::probe_current(const Solution& x) const {
+double Resistor::probe_current(const Solution& x, double /*t*/) const {
   return (x.v(a_) - x.v(b_)) / r_;
 }
 
@@ -85,7 +85,7 @@ void Capacitor::reset_state(const Solution& x) {
   ieq_ = 0.0;
 }
 
-double Capacitor::probe_current(const Solution& x) const {
+double Capacitor::probe_current(const Solution& x, double /*t*/) const {
   (void)x;
   return i_prev_;
 }
@@ -109,7 +109,7 @@ void VoltageSource::stamp(StampContext& ctx) {
   ctx.b[br] += ctx.source_scale * spec_.value(ctx.t);
 }
 
-double VoltageSource::probe_current(const Solution& x) const {
+double VoltageSource::probe_current(const Solution& x, double /*t*/) const {
   return x.branch(branch_);
 }
 
@@ -125,9 +125,11 @@ void CurrentSource::stamp(StampContext& ctx) {
   ctx.current(pos_, neg_, ctx.source_scale * spec_.value(ctx.t));
 }
 
-double CurrentSource::probe_current(const Solution& x) const {
+double CurrentSource::probe_current(const Solution& x, double t) const {
+  // Time-varying sources must be probed at the solution's own time, not at
+  // t = 0 (which silently froze PULSE/PWL sources at their initial value).
   (void)x;
-  return spec_.value(0.0);
+  return spec_.value(t);
 }
 
 // --- Mosfet ----------------------------------------------------------------------
@@ -196,7 +198,7 @@ void Mosfet::reset_state(const Solution& x) {
   commit(x, 0.0, 0.0);
 }
 
-double Mosfet::probe_current(const Solution& x) const {
+double Mosfet::probe_current(const Solution& x, double /*t*/) const {
   const double vgs = x.v(g_) - x.v(s_);
   const double vds = x.v(d_) - x.v(s_);
   const double vbs = x.v(b_) - x.v(s_);

@@ -1,13 +1,29 @@
 #include "pgmcml/spice/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
 #include "pgmcml/util/matrix.hpp"
+#include "pgmcml/util/parallel.hpp"
 
 namespace pgmcml::spice {
 namespace {
+
+std::atomic<std::size_t> g_workspace_allocations{0};
+
+/// Sizes the workspace for an n-unknown system.  Only counts (and pays for)
+/// an allocation when the dimension actually changes, so calling this at the
+/// top of every solve is free in steady state.
+void prepare_workspace(NewtonWorkspace& ws, std::size_t n) {
+  if (ws.a.rows() != n || ws.a.cols() != n) {
+    ws.a.resize(n, n);
+    ws.b.assign(n, 0.0);
+    ws.x_new.assign(n, 0.0);
+    g_workspace_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+}
 
 struct NewtonSettings {
   int max_iterations;
@@ -26,21 +42,20 @@ struct NewtonOutcome {
 };
 
 /// Runs Newton-Raphson on the MNA system in place; `x` is the initial guess
-/// on entry and the solution on (successful) exit.
+/// on entry and the solution on (successful) exit.  All scratch storage
+/// lives in `ws`; the loop itself allocates nothing.
 NewtonOutcome newton_solve(Circuit& circuit, std::vector<double>& x,
-                           const NewtonSettings& s) {
+                           const NewtonSettings& s, NewtonWorkspace& ws) {
   const std::size_t n = circuit.num_unknowns();
   const std::size_t num_nodes = circuit.num_nodes();
-  util::Matrix a(n, n);
-  std::vector<double> b(n, 0.0);
-  util::LuSolver lu;
+  prepare_workspace(ws, n);
 
   NewtonOutcome out;
   for (int iter = 0; iter < s.max_iterations; ++iter) {
-    a.fill(0.0);
-    std::fill(b.begin(), b.end(), 0.0);
+    ws.a.fill(0.0);
+    std::fill(ws.b.begin(), ws.b.end(), 0.0);
     Solution sol(x, num_nodes);
-    StampContext ctx{a, b, sol};
+    StampContext ctx{ws.a, ws.b, sol};
     ctx.t = s.t;
     ctx.dt = s.dt;
     ctx.method = s.method;
@@ -50,23 +65,23 @@ NewtonOutcome newton_solve(Circuit& circuit, std::vector<double>& x,
     ctx.num_nodes = num_nodes;
     for (auto& dev : circuit.devices()) dev->stamp(ctx);
 
-    if (!lu.factorize(a)) {
+    if (!ws.lu.factorize(ws.a)) {
       out.iterations = iter + 1;
       return out;  // singular matrix
     }
-    std::vector<double> x_new = lu.solve(b);
+    ws.lu.solve_into(ws.b, ws.x_new);
 
     bool converged = true;
     for (std::size_t i = 0; i < n; ++i) {
       const double tol =
-          s.reltol * std::max(std::fabs(x_new[i]), std::fabs(x[i])) +
+          s.reltol * std::max(std::fabs(ws.x_new[i]), std::fabs(x[i])) +
           (i < num_nodes - 1 ? s.vabstol : 1e-9);
-      if (std::fabs(x_new[i] - x[i]) > tol) {
+      if (std::fabs(ws.x_new[i] - x[i]) > tol) {
         converged = false;
         break;
       }
     }
-    x = std::move(x_new);
+    x.swap(ws.x_new);  // keep both buffers alive for the next iteration
     out.iterations = iter + 1;
     if (converged && iter > 0) {
       out.converged = true;
@@ -76,9 +91,8 @@ NewtonOutcome newton_solve(Circuit& circuit, std::vector<double>& x,
   return out;
 }
 
-}  // namespace
-
-DcResult dc_operating_point(Circuit& circuit, const DcOptions& options) {
+DcResult dc_operating_point_ws(Circuit& circuit, const DcOptions& options,
+                               NewtonWorkspace& ws) {
   if (!circuit.finalized()) circuit.finalize();
   DcResult result;
   result.x.assign(circuit.num_unknowns(), 0.0);
@@ -92,7 +106,7 @@ DcResult dc_operating_point(Circuit& circuit, const DcOptions& options) {
   // 1) Direct attempt from the zero state.
   {
     std::vector<double> x(circuit.num_unknowns(), 0.0);
-    const NewtonOutcome o = newton_solve(circuit, x, s);
+    const NewtonOutcome o = newton_solve(circuit, x, s, ws);
     result.iterations += o.iterations;
     if (o.converged) {
       result.converged = true;
@@ -110,7 +124,7 @@ DcResult dc_operating_point(Circuit& circuit, const DcOptions& options) {
     for (double gmin = 1e-3; gmin >= options.gmin * 0.99; gmin *= 0.1) {
       NewtonSettings stage = s;
       stage.gmin = std::max(gmin, options.gmin);
-      const NewtonOutcome o = newton_solve(circuit, x, stage);
+      const NewtonOutcome o = newton_solve(circuit, x, stage, ws);
       result.iterations += o.iterations;
       if (!o.converged) {
         ok = false;
@@ -133,7 +147,7 @@ DcResult dc_operating_point(Circuit& circuit, const DcOptions& options) {
       NewtonSettings stage = s;
       stage.source_scale = std::min(scale, 1.0);
       stage.gmin = std::max(options.gmin, 1e-9);
-      const NewtonOutcome o = newton_solve(circuit, x, stage);
+      const NewtonOutcome o = newton_solve(circuit, x, stage, ws);
       result.iterations += o.iterations;
       if (!o.converged) {
         ok = false;
@@ -142,7 +156,7 @@ DcResult dc_operating_point(Circuit& circuit, const DcOptions& options) {
     }
     if (ok) {
       // Final tighten at full sources with the target gmin.
-      const NewtonOutcome o = newton_solve(circuit, x, s);
+      const NewtonOutcome o = newton_solve(circuit, x, s, ws);
       result.iterations += o.iterations;
       if (o.converged) {
         result.converged = true;
@@ -156,10 +170,34 @@ DcResult dc_operating_point(Circuit& circuit, const DcOptions& options) {
   return result;
 }
 
-std::vector<DcResult> dc_sweep(Circuit& circuit,
-                               const std::string& source_name,
-                               const std::vector<double>& values,
-                               const DcOptions& options) {
+/// One sweep point: warm-started Newton run if a previous solution exists,
+/// full operating-point search otherwise.
+DcResult dc_sweep_point(Circuit& circuit, VoltageSource* source, double value,
+                        const DcOptions& options,
+                        const std::vector<double>& warm, NewtonWorkspace& ws) {
+  source->set_value(value);
+  DcResult r;
+  if (!warm.empty()) {
+    NewtonSettings s{};
+    s.max_iterations = options.max_iterations;
+    s.reltol = options.reltol;
+    s.vabstol = options.vabstol;
+    s.gmin = options.gmin;
+    std::vector<double> x = warm;
+    const NewtonOutcome o = newton_solve(circuit, x, s, ws);
+    if (o.converged) {
+      r.converged = true;
+      r.method = "warm";
+      r.iterations = o.iterations;
+      r.x = std::move(x);
+    }
+  }
+  if (!r.converged) r = dc_operating_point_ws(circuit, options, ws);
+  return r;
+}
+
+VoltageSource* find_sweep_source(Circuit& circuit,
+                                 const std::string& source_name) {
   const DeviceId id = circuit.find_device(source_name);
   if (id < 0) {
     throw std::invalid_argument("dc_sweep: no such source " + source_name);
@@ -169,33 +207,76 @@ std::vector<DcResult> dc_sweep(Circuit& circuit,
     throw std::invalid_argument("dc_sweep: " + source_name +
                                 " is not a voltage source");
   }
+  return source;
+}
+
+}  // namespace
+
+std::size_t newton_workspace_allocations() {
+  return g_workspace_allocations.load(std::memory_order_relaxed);
+}
+
+DcResult dc_operating_point(Circuit& circuit, const DcOptions& options) {
+  NewtonWorkspace ws;
+  return dc_operating_point_ws(circuit, options, ws);
+}
+
+std::vector<DcResult> dc_sweep(Circuit& circuit,
+                               const std::string& source_name,
+                               const std::vector<double>& values,
+                               const DcOptions& options) {
+  VoltageSource* source = find_sweep_source(circuit, source_name);
   if (!circuit.finalized()) circuit.finalize();
 
+  NewtonWorkspace ws;
   std::vector<DcResult> results;
+  results.reserve(values.size());
   std::vector<double> warm;
   for (double v : values) {
-    source->set_value(v);
-    DcResult r;
-    if (!warm.empty()) {
-      // Warm start: one Newton run seeded from the previous point.
-      NewtonSettings s{};
-      s.max_iterations = options.max_iterations;
-      s.reltol = options.reltol;
-      s.vabstol = options.vabstol;
-      s.gmin = options.gmin;
-      std::vector<double> x = warm;
-      const NewtonOutcome o = newton_solve(circuit, x, s);
-      if (o.converged) {
-        r.converged = true;
-        r.method = "warm";
-        r.iterations = o.iterations;
-        r.x = std::move(x);
-      }
-    }
-    if (!r.converged) r = dc_operating_point(circuit, options);
+    DcResult r = dc_sweep_point(circuit, source, v, options, warm, ws);
     if (r.converged) warm = r.x;
     results.push_back(std::move(r));
   }
+  return results;
+}
+
+std::vector<DcResult> dc_sweep_batch(
+    const std::function<std::unique_ptr<Circuit>()>& make_circuit,
+    const std::string& source_name, const std::vector<double>& values,
+    const DcOptions& options, std::size_t chunk) {
+  if (chunk == 0) chunk = 1;
+  // Validate the factory and source name eagerly, matching dc_sweep's throws.
+  {
+    std::unique_ptr<Circuit> probe = make_circuit();
+    if (probe == nullptr) {
+      throw std::invalid_argument("dc_sweep_batch: null circuit factory");
+    }
+    find_sweep_source(*probe, source_name);
+  }
+
+  std::vector<DcResult> results(values.size());
+  const std::size_t batches = (values.size() + chunk - 1) / chunk;
+  // grain=1: one task per batch.  Batch boundaries (and therefore every
+  // warm-start chain) are fixed by `chunk` alone, keeping the sweep
+  // deterministic at any worker count.
+  util::parallel_for(
+      batches,
+      [&](std::size_t bi) {
+        const std::size_t lo = bi * chunk;
+        const std::size_t hi = std::min(values.size(), lo + chunk);
+        std::unique_ptr<Circuit> circuit = make_circuit();
+        VoltageSource* source = find_sweep_source(*circuit, source_name);
+        if (!circuit->finalized()) circuit->finalize();
+        NewtonWorkspace ws;
+        std::vector<double> warm;
+        for (std::size_t i = lo; i < hi; ++i) {
+          DcResult r =
+              dc_sweep_point(*circuit, source, values[i], options, warm, ws);
+          if (r.converged) warm = r.x;
+          results[i] = std::move(r);
+        }
+      },
+      /*grain=*/1);
   return results;
 }
 
@@ -203,6 +284,7 @@ TranResult transient(Circuit& circuit, double t_stop,
                      const TranOptions& options) {
   if (!circuit.finalized()) circuit.finalize();
   TranResult result;
+  NewtonWorkspace ws;  // shared by the initial DC and every timestep
 
   // Initial condition: explicit state or DC operating point.
   std::vector<double> x;
@@ -215,7 +297,7 @@ TranResult transient(Circuit& circuit, double t_stop,
   } else {
     DcOptions dc_opts;
     dc_opts.gmin = options.gmin;
-    const DcResult dc = dc_operating_point(circuit, dc_opts);
+    const DcResult dc = dc_operating_point_ws(circuit, dc_opts, ws);
     if (!dc.converged) {
       result.error = "DC operating point failed to converge";
       return result;
@@ -250,6 +332,15 @@ TranResult transient(Circuit& circuit, double t_stop,
   result.node_values.assign(result.recorded_nodes.size(), {});
   result.device_values.assign(result.recorded_devices.size(), {});
 
+  // Preallocate the recording arrays: a dt_max-paced run needs t_stop/dt_max
+  // points; double it for refinement around breakpoints so steady-state
+  // recording never reallocates.
+  const std::size_t est_points = std::min<std::size_t>(
+      1 << 20, static_cast<std::size_t>(t_stop / options.dt_max) * 2 + 64);
+  result.time.reserve(est_points);
+  for (auto& v : result.node_values) v.reserve(est_points);
+  for (auto& v : result.device_values) v.reserve(est_points);
+
   auto record = [&](double t, const std::vector<double>& state) {
     Solution sol(state, num_nodes);
     result.time.push_back(t);
@@ -258,7 +349,7 @@ TranResult transient(Circuit& circuit, double t_stop,
     }
     for (std::size_t i = 0; i < result.recorded_devices.size(); ++i) {
       result.device_values[i].push_back(
-          circuit.device(result.recorded_devices[i]).probe_current(sol));
+          circuit.device(result.recorded_devices[i]).probe_current(sol, t));
     }
   };
   record(0.0, x);
@@ -269,6 +360,7 @@ TranResult transient(Circuit& circuit, double t_stop,
   double t = 0.0;
   double dt = options.dt_initial;
   bool after_discontinuity = true;  // start with backward Euler
+  std::vector<double> x_try;        // step candidate, reused across steps
 
   while (t < t_stop - 1e-18) {
     dt = std::min({dt, options.dt_max, t_stop - t});
@@ -289,7 +381,7 @@ TranResult transient(Circuit& circuit, double t_stop,
     // Attempt the step, halving on failure.
     bool accepted = false;
     while (!accepted) {
-      std::vector<double> x_try = x;
+      x_try = x;
       NewtonSettings s{};
       s.max_iterations = options.max_newton;
       s.reltol = options.reltol;
@@ -300,7 +392,7 @@ TranResult transient(Circuit& circuit, double t_stop,
       s.method = (!options.use_trapezoidal || after_discontinuity)
                      ? Integration::kBackwardEuler
                      : Integration::kTrapezoidal;
-      const NewtonOutcome o = newton_solve(circuit, x_try, s);
+      const NewtonOutcome o = newton_solve(circuit, x_try, s, ws);
       result.newton_iterations += static_cast<std::size_t>(o.iterations);
 
       // Accuracy control: largest node-voltage change this step.
@@ -313,7 +405,7 @@ TranResult transient(Circuit& circuit, double t_stop,
       if (o.converged && (dv <= options.dv_max || dt <= options.dt_min)) {
         // Accept.
         t += dt;
-        x = std::move(x_try);
+        x.swap(x_try);
         Solution sol(x, num_nodes);
         for (auto& dev : circuit.devices()) dev->commit(sol, t, dt);
         record(t, x);

@@ -56,7 +56,7 @@ struct StampContext {
   bool first_iteration = false;  ///< first Newton iteration of this step
 
   // Index helpers: row/col of a node (ground is absorbed), of a branch.
-  std::size_t num_nodes;  ///< including ground
+  std::size_t num_nodes = 0;  ///< including ground
   bool node_valid(NodeId n) const { return n != kGround; }
   std::size_t node_index(NodeId n) const { return static_cast<std::size_t>(n - 1); }
   std::size_t branch_index(std::size_t branch) const {
@@ -111,8 +111,13 @@ class Device {
   virtual void reset_state(const Solution& x);
 
   /// Current flowing through the device at the committed solution
-  /// (device-specific reference direction), for probing.
-  virtual double probe_current(const Solution& x) const { (void)x; return 0.0; }
+  /// (device-specific reference direction), for probing.  `t` is the
+  /// simulation time of the solution; DC analyses probe at t = 0.
+  virtual double probe_current(const Solution& x, double t = 0.0) const {
+    (void)x;
+    (void)t;
+    return 0.0;
+  }
 
   /// True if this device is nonlinear (participates in NR limiting).
   virtual bool nonlinear() const { return false; }
@@ -130,7 +135,7 @@ class Resistor final : public Device {
  public:
   Resistor(std::string name, NodeId a, NodeId b, double ohms);
   void stamp(StampContext& ctx) override;
-  double probe_current(const Solution& x) const override;
+  double probe_current(const Solution& x, double t) const override;
   std::vector<NodeId> terminals() const override { return {a_, b_}; }
   double resistance() const { return r_; }
 
@@ -146,7 +151,7 @@ class Capacitor final : public Device {
   void stamp(StampContext& ctx) override;
   void commit(const Solution& x, double t, double dt) override;
   void reset_state(const Solution& x) override;
-  double probe_current(const Solution& x) const override;
+  double probe_current(const Solution& x, double t) const override;
   std::vector<NodeId> terminals() const override { return {a_, b_}; }
   double capacitance() const { return c_; }
 
@@ -168,7 +173,7 @@ class VoltageSource final : public Device {
   /// Current flowing out of the + terminal through the source (so a supply
   /// delivering current to the circuit probes negative by MNA convention;
   /// see Circuit::supply_current for the conventional sign).
-  double probe_current(const Solution& x) const override;
+  double probe_current(const Solution& x, double t) const override;
   std::vector<NodeId> terminals() const override { return {pos_, neg_}; }
   const SourceSpec& spec() const { return spec_; }
   /// Replaces the source with a DC value (used by dc_sweep).
@@ -187,7 +192,7 @@ class CurrentSource final : public Device {
   /// positive value pulls current out of `pos` node).
   CurrentSource(std::string name, NodeId pos, NodeId neg, SourceSpec spec);
   void stamp(StampContext& ctx) override;
-  double probe_current(const Solution& x) const override;
+  double probe_current(const Solution& x, double t) const override;
   std::vector<NodeId> terminals() const override { return {pos_, neg_}; }
   const SourceSpec& spec() const { return spec_; }
 
@@ -204,7 +209,7 @@ class Mosfet final : public Device {
   void commit(const Solution& x, double t, double dt) override;
   void reset_state(const Solution& x) override;
   /// Drain current (positive into the drain for NMOS conduction d->s).
-  double probe_current(const Solution& x) const override;
+  double probe_current(const Solution& x, double t) const override;
   bool nonlinear() const override { return true; }
   std::vector<NodeId> terminals() const override { return {d_, g_, s_, b_}; }
   const MosParams& params() const { return params_; }

@@ -4,6 +4,8 @@
 // source corners, step control from Newton convergence and per-node dV).
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -12,6 +14,22 @@
 #include "pgmcml/util/waveform.hpp"
 
 namespace pgmcml::spice {
+
+/// Reusable scratch storage for the Newton solver: system matrix, RHS,
+/// candidate solution and LU factors persist across iterations, timesteps
+/// and whole analyses, so the hot loop performs no heap allocation once the
+/// buffers are sized for the circuit.  One workspace serves one thread.
+struct NewtonWorkspace {
+  util::Matrix a;
+  std::vector<double> b;
+  std::vector<double> x_new;
+  util::LuSolver lu;
+};
+
+/// Process-wide count of Newton workspace (re)sizings.  Repeated solves of
+/// same-sized circuits must not move this counter after the first solve —
+/// the regression test for "no allocation inside the Newton inner loop".
+std::size_t newton_workspace_allocations();
 
 struct DcOptions {
   int max_iterations = 200;
@@ -85,6 +103,17 @@ std::vector<DcResult> dc_sweep(Circuit& circuit,
                                const std::string& source_name,
                                const std::vector<double>& values,
                                const DcOptions& options = {});
+
+/// Parallel DC sweep.  `make_circuit` must build a fresh, equivalent circuit
+/// on every call (workers never share one).  Values are processed in fixed
+/// batches of `chunk` points; within a batch each solve warm-starts from the
+/// previous point exactly like dc_sweep, and batch boundaries depend only on
+/// `chunk` — never on the worker count — so the results are identical at any
+/// PGMCML_THREADS setting, including the serial fallback.
+std::vector<DcResult> dc_sweep_batch(
+    const std::function<std::unique_ptr<Circuit>()>& make_circuit,
+    const std::string& source_name, const std::vector<double>& values,
+    const DcOptions& options = {}, std::size_t chunk = 8);
 
 /// Runs a transient analysis over [0, t_stop], starting from the DC
 /// operating point (or `options.initial_state` when provided).

@@ -46,6 +46,10 @@ class LuSolver {
   /// Solves LUx = b for x; `factorize` must have succeeded first.
   std::vector<double> solve(std::span<const double> b) const;
 
+  /// Allocation-free variant: solves into `x`, reusing its capacity.  The
+  /// Newton hot loop calls this once per iteration with a persistent buffer.
+  void solve_into(std::span<const double> b, std::vector<double>& x) const;
+
   /// One-shot convenience: solve a x = b.  Returns empty vector on failure.
   static std::vector<double> solve(const Matrix& a, std::span<const double> b);
 

@@ -1,0 +1,50 @@
+// Deterministic parallel execution for the embarrassingly parallel loops of
+// the evaluation pipeline (trace acquisition, CPA key guesses, Monte-Carlo
+// samples, characterization sweeps).
+//
+// Design rules that make parallel runs reproducible:
+//   * `parallel_for(n, body)` promises only that `body(i)` runs exactly once
+//     for every i; callers must make each index independent (own RNG stream,
+//     own output slot) so the result cannot depend on execution order.
+//   * Chunk boundaries that *do* affect results (e.g. warm-started DC sweep
+//     chunks) must be fixed by an explicit grain, never by the worker count.
+//   * With 1 worker (PGMCML_THREADS=1) everything runs inline on the calling
+//     thread — the serial fallback — and produces bitwise-identical results
+//     to any parallel run by construction.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace pgmcml::util {
+
+/// Effective worker count: a set_parallel_threads() override if active, else
+/// the PGMCML_THREADS environment variable, else hardware_concurrency().
+std::size_t parallel_threads();
+
+/// Overrides the worker count for subsequent parallel regions (0 restores
+/// the environment/hardware default).  Recreates the shared pool lazily;
+/// call only between parallel regions (tests, benchmark harnesses).
+void set_parallel_threads(std::size_t n);
+
+/// Chunked parallel loop over [0, n).  `body(i)` must be safe to run
+/// concurrently for distinct indices.  `grain` fixes how many consecutive
+/// indices form one task (0 = automatic); pass an explicit grain when the
+/// per-chunk execution order is semantically meaningful.  Blocks until every
+/// index has run.  The first exception thrown by `body` is rethrown here.
+/// Calls from inside a worker thread run inline (no nested fan-out).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 0);
+
+/// Maps `fn` over [0, n) into an order-preserving vector, in parallel.
+/// The result type must be default-constructible.
+template <typename F>
+auto parallel_map(std::size_t n, F&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  std::vector<decltype(fn(std::size_t{0}))> out(n);
+  parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace pgmcml::util

@@ -97,6 +97,16 @@ class Rng {
   /// Derives an independent child stream (for per-instance mismatch).
   Rng fork() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
 
+  /// Derives an independent stream from a (seed, index) pair without any
+  /// shared generator state: parallel loops give every index its own stream
+  /// so draws are identical regardless of execution order or thread count.
+  static Rng stream(std::uint64_t seed, std::uint64_t index) {
+    std::uint64_t z = seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(z ^ (z >> 31));
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

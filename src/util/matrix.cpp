@@ -62,11 +62,18 @@ bool LuSolver::factorize(const Matrix& a) {
 }
 
 std::vector<double> LuSolver::solve(std::span<const double> b) const {
+  std::vector<double> x;
+  solve_into(b, x);
+  return x;
+}
+
+void LuSolver::solve_into(std::span<const double> b,
+                          std::vector<double>& x) const {
   const std::size_t n = lu_.rows();
   if (!ok_ || b.size() != n) {
     throw std::logic_error("LuSolver::solve called without valid factorization");
   }
-  std::vector<double> x(b.begin(), b.end());
+  x.assign(b.begin(), b.end());
   // Factorization swapped full rows (LAPACK convention), so the entire
   // permutation must be applied to the RHS before substitution begins.
   for (std::size_t k = 0; k < n; ++k) {
@@ -85,7 +92,6 @@ std::vector<double> LuSolver::solve(std::span<const double> b) const {
     }
     x[k] /= lu_.at(k, k);
   }
-  return x;
 }
 
 std::vector<double> LuSolver::solve(const Matrix& a, std::span<const double> b) {

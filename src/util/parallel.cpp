@@ -1,0 +1,162 @@
+#include "pgmcml/util/parallel.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace pgmcml::util {
+namespace {
+
+// Set inside pool workers so nested parallel_for calls degrade to inline
+// execution instead of deadlocking on a saturated pool.
+thread_local bool t_in_worker = false;
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers) {
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] {
+        t_in_worker = true;
+        for (;;) {
+          std::function<void()> task;
+          {
+            std::unique_lock lock(m_);
+            cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (stop_ && tasks_.empty()) return;
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+          }
+          task();
+        }
+      });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard lock(m_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard lock(m_);
+      tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  std::size_t workers() const { return threads_.size(); }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+std::size_t default_threads() {
+  if (const char* env = std::getenv("PGMCML_THREADS")) {
+    const long v = std::atol(env);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+struct PoolState {
+  std::mutex m;
+  std::size_t override_threads = 0;
+  std::unique_ptr<ThreadPool> pool;
+};
+
+PoolState& state() {
+  // Leaked on purpose: the pool's worker threads must never race static
+  // destruction at process exit.
+  static PoolState* s = new PoolState;
+  return *s;
+}
+
+}  // namespace
+
+std::size_t parallel_threads() {
+  auto& s = state();
+  std::lock_guard lock(s.m);
+  return s.override_threads != 0 ? s.override_threads : default_threads();
+}
+
+void set_parallel_threads(std::size_t n) {
+  auto& s = state();
+  std::lock_guard lock(s.m);
+  s.override_threads = n;
+  s.pool.reset();  // re-sized lazily by the next parallel region
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  if (n == 0) return;
+
+  ThreadPool* pool = nullptr;
+  std::size_t workers = 1;
+  {
+    auto& s = state();
+    std::lock_guard lock(s.m);
+    workers = s.override_threads != 0 ? s.override_threads : default_threads();
+    if (workers > 1 && n > 1 && !t_in_worker) {
+      if (!s.pool || s.pool->workers() != workers) {
+        s.pool = std::make_unique<ThreadPool>(workers);
+      }
+      pool = s.pool.get();
+    }
+  }
+
+  if (pool == nullptr) {  // serial fallback: 1 worker, tiny n, or nested call
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  if (grain == 0) grain = std::max<std::size_t>(1, n / (4 * workers));
+  const std::size_t chunks = (n + grain - 1) / grain;
+
+  struct Group {
+    std::mutex m;
+    std::condition_variable cv;
+    std::size_t pending;
+    std::exception_ptr error;
+  } group;
+  group.pending = chunks;
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = c * grain;
+    const std::size_t hi = std::min(n, lo + grain);
+    pool->submit([&group, &body, lo, hi] {
+      std::exception_ptr err;
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard lock(group.m);
+      if (err && !group.error) group.error = err;
+      if (--group.pending == 0) group.cv.notify_one();
+    });
+  }
+
+  {
+    std::unique_lock lock(group.m);
+    group.cv.wait(lock, [&group] { return group.pending == 0; });
+  }
+  if (group.error) std::rethrow_exception(group.error);
+}
+
+}  // namespace pgmcml::util

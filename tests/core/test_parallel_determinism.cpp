@@ -1,0 +1,69 @@
+// Tier-1 determinism guarantee of the parallel-execution layer: the full
+// DPA flow (acquisition -> CPA) run on >= 4 worker threads is bitwise
+// identical to the serial run, for every logic style.  Built as its own test
+// executable so the ThreadSanitizer preset can select it via `ctest -L tsan`.
+#include <gtest/gtest.h>
+
+#include "pgmcml/core/dpa_flow.hpp"
+#include "pgmcml/util/parallel.hpp"
+
+namespace pgmcml::core {
+namespace {
+
+using cells::CellLibrary;
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::set_parallel_threads(0); }
+};
+
+void expect_bitwise_equal_flow(const CellLibrary& library) {
+  DpaFlowOptions opt;
+  opt.num_traces = 96;
+  opt.samples = 300;
+
+  util::set_parallel_threads(1);
+  const DpaFlowResult serial = run_dpa_flow(library, opt);
+  util::set_parallel_threads(4);
+  const DpaFlowResult parallel = run_dpa_flow(library, opt);
+
+  // Acquisition: identical plaintexts and identical samples, bit for bit.
+  ASSERT_EQ(serial.traces.num_traces(), parallel.traces.num_traces());
+  ASSERT_EQ(serial.traces.samples_per_trace(),
+            parallel.traces.samples_per_trace());
+  for (std::size_t i = 0; i < serial.traces.num_traces(); ++i) {
+    ASSERT_EQ(serial.traces.plaintext(i), parallel.traces.plaintext(i))
+        << "trace " << i;
+    const auto& a = serial.traces.trace(i);
+    const auto& b = parallel.traces.trace(i);
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      ASSERT_EQ(a[j], b[j]) << "trace " << i << " sample " << j;
+    }
+  }
+
+  // Attack: every key guess's statistic, not just the ranking.
+  for (int k = 0; k < 256; ++k) {
+    EXPECT_EQ(serial.cpa.peak_correlation[k], parallel.cpa.peak_correlation[k])
+        << "guess " << k;
+    EXPECT_EQ(serial.dpa.peak_difference[k], parallel.dpa.peak_difference[k])
+        << "guess " << k;
+  }
+  EXPECT_EQ(serial.key_rank, parallel.key_rank);
+  EXPECT_EQ(serial.margin, parallel.margin);
+  EXPECT_EQ(serial.mean_current, parallel.mean_current);
+}
+
+TEST_F(ParallelDeterminismTest, CmosFlowIsThreadCountInvariant) {
+  expect_bitwise_equal_flow(CellLibrary::cmos90());
+}
+
+TEST_F(ParallelDeterminismTest, McmlFlowIsThreadCountInvariant) {
+  expect_bitwise_equal_flow(CellLibrary::mcml90());
+}
+
+TEST_F(ParallelDeterminismTest, PgMcmlFlowIsThreadCountInvariant) {
+  expect_bitwise_equal_flow(CellLibrary::pgmcml90());
+}
+
+}  // namespace
+}  // namespace pgmcml::core

@@ -1,0 +1,84 @@
+// TraceSet container behaviour: bulk reservation and the numerically stable
+// pairwise mean on acquisition-campaign-sized trace counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "pgmcml/sca/traces.hpp"
+#include "pgmcml/util/rng.hpp"
+
+namespace pgmcml::sca {
+namespace {
+
+TEST(TraceSet, ReserveDoesNotChangeContents) {
+  TraceSet ts(4);
+  ts.reserve(1000);
+  EXPECT_EQ(ts.num_traces(), 0u);
+  ts.add(0x11, {1.0, 2.0, 3.0, 4.0});
+  ts.add(0x22, {5.0, 6.0, 7.0, 8.0});
+  EXPECT_EQ(ts.num_traces(), 2u);
+  EXPECT_EQ(ts.plaintext(1), 0x22);
+  EXPECT_DOUBLE_EQ(ts.trace(1)[2], 7.0);
+}
+
+TEST(TraceSet, MeanTraceMatchesSmallHandComputedCase) {
+  TraceSet ts(2);
+  ts.add(0, {1.0, 10.0});
+  ts.add(1, {2.0, 20.0});
+  ts.add(2, {3.0, 30.0});
+  const auto mean = ts.mean_trace();
+  ASSERT_EQ(mean.size(), 2u);
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 20.0);
+}
+
+TEST(TraceSet, PairwiseMeanIsStableOnHundredThousandTraces) {
+  // 10^5 traces whose samples mix a large common-mode level with tiny
+  // per-trace signal: exactly the regime where naive left-to-right
+  // accumulation loses the signal digits.
+  constexpr std::size_t kTraces = 100000;
+  constexpr std::size_t kSamples = 4;
+  TraceSet ts(kSamples);
+  ts.reserve(kTraces);
+  util::Rng rng(99);
+
+  // Long-double Kahan reference accumulators.
+  std::vector<long double> ref_sum(kSamples, 0.0L);
+  std::vector<long double> ref_comp(kSamples, 0.0L);
+
+  for (std::size_t i = 0; i < kTraces; ++i) {
+    std::vector<double> t(kSamples);
+    for (std::size_t j = 0; j < kSamples; ++j) {
+      t[j] = 1.0e6 + rng.gaussian(0.0, 1e-3);
+      const long double y = static_cast<long double>(t[j]) - ref_comp[j];
+      const long double s = ref_sum[j] + y;
+      ref_comp[j] = (s - ref_sum[j]) - y;
+      ref_sum[j] = s;
+    }
+    ts.add(static_cast<std::uint8_t>(i & 0xff), std::move(t));
+  }
+
+  const auto mean = ts.mean_trace();
+  ASSERT_EQ(mean.size(), kSamples);
+  for (std::size_t j = 0; j < kSamples; ++j) {
+    const double ref =
+        static_cast<double>(ref_sum[j] / static_cast<long double>(kTraces));
+    // Pairwise error grows O(log n * eps); demand far better than the
+    // O(n * eps) ~ 1e-5 drift a naive sum can show at this magnitude.
+    EXPECT_NEAR(mean[j], ref, 1e-9) << "sample " << j;
+  }
+}
+
+TEST(TraceSet, PrefixKeepsLeadingTraces) {
+  TraceSet ts(1);
+  for (int i = 0; i < 10; ++i) {
+    ts.add(static_cast<std::uint8_t>(i), {static_cast<double>(i)});
+  }
+  const TraceSet head = ts.prefix(3);
+  EXPECT_EQ(head.num_traces(), 3u);
+  EXPECT_DOUBLE_EQ(head.trace(2)[0], 2.0);
+}
+
+}  // namespace
+}  // namespace pgmcml::sca

@@ -1,0 +1,92 @@
+#include "pgmcml/util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pgmcml/util/rng.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace pgmcml::util {
+namespace {
+
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_parallel_threads(0); }
+};
+
+TEST_F(ParallelTest, RunsEveryIndexExactlyOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    set_parallel_threads(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST_F(ParallelTest, EmptyRangeIsANoop) {
+  set_parallel_threads(4);
+  parallel_for(0, [](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST_F(ParallelTest, ExplicitGrainCoversAllIndices) {
+  set_parallel_threads(3);
+  std::vector<std::atomic<int>> hits(97);  // not a multiple of the grain
+  parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; }, /*grain=*/10);
+  int total = 0;
+  for (const auto& h : hits) total += h.load();
+  EXPECT_EQ(total, 97);
+}
+
+TEST_F(ParallelTest, MapPreservesIndexOrder) {
+  set_parallel_threads(4);
+  const auto out = parallel_map(256, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 256u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST_F(ParallelTest, ExceptionsPropagateToCaller) {
+  set_parallel_threads(4);
+  EXPECT_THROW(parallel_for(100,
+                            [](std::size_t i) {
+                              if (i == 37) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  // The pool must still be usable afterwards.
+  std::atomic<int> count{0};
+  parallel_for(50, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST_F(ParallelTest, NestedCallsRunInlineWithoutDeadlock) {
+  set_parallel_threads(2);
+  std::vector<std::atomic<int>> hits(16 * 16);
+  parallel_for(16, [&](std::size_t i) {
+    parallel_for(16, [&](std::size_t j) { ++hits[i * 16 + j]; });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_F(ParallelTest, ThreadOverrideRoundTrips) {
+  set_parallel_threads(3);
+  EXPECT_EQ(parallel_threads(), 3u);
+  set_parallel_threads(0);
+  EXPECT_GE(parallel_threads(), 1u);
+}
+
+TEST_F(ParallelTest, RngStreamsAreIndexDeterministic) {
+  // Streams depend only on (seed, index): drawing them in any order, from
+  // any thread, yields the same sequences.
+  Rng a = Rng::stream(42, 7);
+  Rng b = Rng::stream(42, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng c = Rng::stream(42, 8);
+  Rng d = Rng::stream(43, 7);
+  EXPECT_NE(Rng::stream(42, 7).next_u64(), c.next_u64());
+  EXPECT_NE(Rng::stream(42, 7).next_u64(), d.next_u64());
+}
+
+}  // namespace
+}  // namespace pgmcml::util
