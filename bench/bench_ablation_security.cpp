@@ -9,6 +9,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <stdexcept>
+#include <string>
 
 #include "pgmcml/core/dpa_flow.hpp"
 #include "pgmcml/core/sbox_unit.hpp"
@@ -39,17 +41,40 @@ sca::TraceSet acquire(double residual_sigma, double supply_noise_ratio,
   const power::PowerTracer tracer(mapped.design, lib,
                                   power::default_kernels(), topt);
 
+  // Safe bus-index parsing ("p[3]" -> 3); malformed or out-of-range names
+  // throw instead of silently indexing with garbage.
+  const auto bus_index = [](const std::string& name, char prefix) -> int {
+    if (name.empty() || name[0] != prefix) return -1;
+    if (name.size() < 4 || name[1] != '[' || name.back() != ']') {
+      throw std::invalid_argument("malformed port name '" + name + "'");
+    }
+    const std::string digits = name.substr(2, name.size() - 3);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      throw std::invalid_argument("non-numeric index in port '" + name + "'");
+    }
+    const int idx = std::stoi(digits);
+    if (idx >= 8) {
+      throw std::out_of_range("port index out of range in '" + name + "'");
+    }
+    return idx;
+  };
+
   std::vector<netlist::NetId> p_nets(8), k_nets(8);
   netlist::NetId const_net = netlist::kNoNet;
   for (std::size_t i = 0; i < mapped.design.inputs().size(); ++i) {
     const std::string& name = mapped.design.port_name(i, true);
-    if (name[0] == 'p') {
-      p_nets[name[2] - '0'] = mapped.design.inputs()[i];
-    } else if (name[0] == 'k') {
-      k_nets[name[2] - '0'] = mapped.design.inputs()[i];
-    } else {
-      const_net = mapped.design.inputs()[i];
+    int idx = bus_index(name, 'p');
+    if (idx >= 0) {
+      p_nets[idx] = mapped.design.inputs()[i];
+      continue;
     }
+    idx = bus_index(name, 'k');
+    if (idx >= 0) {
+      k_nets[idx] = mapped.design.inputs()[i];
+      continue;
+    }
+    const_net = mapped.design.inputs()[i];
   }
 
   util::Rng rng(13);
@@ -98,15 +123,26 @@ void print_security_ablation() {
 
   util::Table t2("CMOS-style check: noise floor needed to hide the CMOS leak");
   t2.header({"noise sigma [uA]", "key rank (CMOS, 2000 traces)"});
+  spice::FlowDiagnostics flow_diag;
   for (double noise : {2e-6, 100e-6, 1e-3, 5e-3}) {
     core::DpaFlowOptions opt;
     opt.num_traces = 2000;
     opt.samples = 500;
     opt.noise_sigma = noise;
     const auto r = core::run_dpa_flow(CellLibrary::cmos90(), opt);
+    flow_diag.merge(r.diagnostics);
     t2.row({util::Table::num(noise * 1e6, 0), std::to_string(r.key_rank)});
   }
   t2.print();
+
+  // Machine-readable acquisition health for the sweep above.
+  if (std::FILE* f = std::fopen("BENCH_ablation_security.json", "w")) {
+    std::fprintf(f, "{\n  \"diagnostics\": %s\n}\n",
+                 flow_diag.to_json().c_str());
+    std::fclose(f);
+    std::printf("Wrote BENCH_ablation_security.json (diagnostics: %s)\n\n",
+                flow_diag.clean() ? "clean" : "incidents recorded");
+  }
   std::printf(
       "Reading: CPA averages noise away -- only mA-class noise floors "
       "(thousands of times the scope's)\nbury the CMOS leak at this trace "

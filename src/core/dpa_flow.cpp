@@ -1,5 +1,8 @@
 #include "pgmcml/core/dpa_flow.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "pgmcml/core/sbox_unit.hpp"
 #include "pgmcml/netlist/logicsim.hpp"
 #include "pgmcml/power/kernels.hpp"
@@ -18,7 +21,33 @@ struct Acquisition {
   sca::TraceSet traces;
   double mean_current = 0.0;
   netlist::Design::Stats stats;
+  spice::FlowDiagnostics diagnostics;
 };
+
+/// Parses a bus port name of the form `<prefix>[<index>]` (e.g. "p[3]").
+/// Returns -1 when the name has a different prefix or shape; throws when it
+/// matches the prefix but the index is malformed or out of range — the
+/// fragile `name[2] - '0'` this replaces read garbage indices silently.
+int parse_bus_index(const std::string& name, char prefix, int width) {
+  if (name.empty() || name[0] != prefix) return -1;
+  if (name.size() < 4 || name[1] != '[' || name.back() != ']') {
+    throw std::invalid_argument("dpa_flow: malformed port name '" + name +
+                                "' (expected " + prefix + "[<index>])");
+  }
+  const std::string digits = name.substr(2, name.size() - 3);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument("dpa_flow: non-numeric index in port name '" +
+                                name + "'");
+  }
+  const int idx = std::stoi(digits);
+  if (idx < 0 || idx >= width) {
+    throw std::out_of_range("dpa_flow: port index " + std::to_string(idx) +
+                            " out of range [0, " + std::to_string(width) +
+                            ") in '" + name + "'");
+  }
+  return idx;
+}
 
 Acquisition acquire(const cells::CellLibrary& library,
                     const DpaFlowOptions& options) {
@@ -31,9 +60,11 @@ Acquisition acquire(const cells::CellLibrary& library,
   topt.samples = options.samples;
   topt.noise_sigma = options.noise_sigma;
   topt.seed = options.seed;
-  const power::CurrentKernels kernels = options.spice_kernels
-                                            ? power::kernels_from_spice({})
-                                            : power::default_kernels();
+  Acquisition out;
+  const power::CurrentKernels kernels =
+      options.spice_kernels
+          ? power::kernels_from_spice({}, &out.diagnostics)
+          : power::default_kernels();
   const power::PowerTracer tracer(design, library, kernels, topt);
 
   // Port lookup: p[0..7], k[0..7] inputs (plus possibly const0).
@@ -42,12 +73,22 @@ Acquisition acquire(const cells::CellLibrary& library,
   NetId const_net = netlist::kNoNet;
   for (std::size_t i = 0; i < design.inputs().size(); ++i) {
     const std::string& name = design.port_name(i, true);
-    if (name.size() >= 4 && name[0] == 'p') {
-      p_nets[name[2] - '0'] = design.inputs()[i];
-    } else if (name.size() >= 4 && name[0] == 'k') {
-      k_nets[name[2] - '0'] = design.inputs()[i];
-    } else {
-      const_net = design.inputs()[i];
+    int idx = parse_bus_index(name, 'p', 8);
+    if (idx >= 0) {
+      p_nets[idx] = design.inputs()[i];
+      continue;
+    }
+    idx = parse_bus_index(name, 'k', 8);
+    if (idx >= 0) {
+      k_nets[idx] = design.inputs()[i];
+      continue;
+    }
+    const_net = design.inputs()[i];
+  }
+  for (int b = 0; b < 8; ++b) {
+    if (p_nets[b] == netlist::kNoNet || k_nets[b] == netlist::kNoNet) {
+      throw std::runtime_error("dpa_flow: mapped design is missing input bit " +
+                               std::to_string(b) + " of p[] or k[]");
     }
   }
 
@@ -58,7 +99,6 @@ Acquisition acquire(const cells::CellLibrary& library,
     schedule.awake.push_back({0.2e-9, 0.4e-9 + options.dt * options.samples});
   }
 
-  Acquisition out;
   out.stats = design.stats(library);
   out.traces = sca::TraceSet(options.samples);
   out.traces.reserve(options.num_traces);
@@ -66,39 +106,66 @@ Acquisition acquire(const cells::CellLibrary& library,
   // Every trace is an independent simulation: its own LogicSim and its own
   // RNG stream derived from (seed, trace index), so the acquisition is
   // bitwise identical at any thread count (and under the serial fallback).
+  // A trace whose simulation throws (a real solver failure or the test-only
+  // fault hook) is retried once, then skipped and recorded — per-trace
+  // outcomes live in index-addressed slots so the aggregate stays
+  // deterministic too.
   std::vector<std::uint8_t> plaintexts(options.num_traces, 0);
   std::vector<std::vector<double>> acquired(options.num_traces);
+  std::vector<char> skipped(options.num_traces, 0);
+  std::vector<spice::FlowDiagnostics> trace_diag(options.num_traces);
   util::parallel_for(options.num_traces, [&](std::size_t t) {
-    util::Rng rng = util::Rng::stream(options.seed, t);
-    const auto plaintext =
-        options.fixed_plaintext >= 0
-            ? static_cast<std::uint8_t>(options.fixed_plaintext)
-            : static_cast<std::uint8_t>(rng.bounded(256));
+    trace_diag[t].record_attempt();
+    const std::string stage = "trace:" + std::to_string(t);
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      try {
+        if (options.acquisition_fault_hook) {
+          options.acquisition_fault_hook(t, attempt);
+        }
+        util::Rng rng = util::Rng::stream(options.seed, t);
+        const auto plaintext =
+            options.fixed_plaintext >= 0
+                ? static_cast<std::uint8_t>(options.fixed_plaintext)
+                : static_cast<std::uint8_t>(rng.bounded(256));
 
-    LogicSim sim(design, &library);
-    std::vector<std::pair<NetId, bool>> init;
-    for (int b = 0; b < 8; ++b) {
-      init.emplace_back(k_nets[b], (options.key >> b) & 1);
-      init.emplace_back(p_nets[b], false);
+        LogicSim sim(design, &library);
+        std::vector<std::pair<NetId, bool>> init;
+        for (int b = 0; b < 8; ++b) {
+          init.emplace_back(k_nets[b], (options.key >> b) & 1);
+          init.emplace_back(p_nets[b], false);
+        }
+        if (const_net != netlist::kNoNet) init.emplace_back(const_net, false);
+        sim.apply_and_settle(init);  // precharge state: p = 0, key applied
+        sim.clear_events();
+        sim.run_until(0.5e-9);
+
+        std::vector<std::pair<NetId, bool>> stimulus;
+        for (int b = 0; b < 8; ++b) {
+          stimulus.emplace_back(p_nets[b], (plaintext >> b) & 1);
+        }
+        sim.apply_and_settle(stimulus);
+
+        plaintexts[t] = plaintext;
+        acquired[t] = tracer.trace(sim.events(), schedule, t);
+        if (attempt > 0) trace_diag[t].record_recovery(stage);
+        return;
+      } catch (const std::exception& e) {
+        if (attempt == 0) {
+          trace_diag[t].record_retry(stage, e.what());
+        } else {
+          trace_diag[t].record_skip(stage, e.what());
+          skipped[t] = 1;
+        }
+      }
     }
-    if (const_net != netlist::kNoNet) init.emplace_back(const_net, false);
-    sim.apply_and_settle(init);  // precharge state: p = 0, key applied
-    sim.clear_events();
-    sim.run_until(0.5e-9);
-
-    std::vector<std::pair<NetId, bool>> stimulus;
-    for (int b = 0; b < 8; ++b) {
-      stimulus.emplace_back(p_nets[b], (plaintext >> b) & 1);
-    }
-    sim.apply_and_settle(stimulus);
-
-    plaintexts[t] = plaintext;
-    acquired[t] = tracer.trace(sim.events(), schedule, t);
   });
 
-  // Ordered merge: accumulator order matches the serial loop exactly.
+  // Ordered merge: accumulator order matches the serial loop exactly, and
+  // skipped traces are excluded identically at any thread count.
   util::RunningStats current_stats;
   for (std::size_t t = 0; t < options.num_traces; ++t) {
+    out.diagnostics.merge(trace_diag[t]);
+    if (skipped[t]) continue;
     current_stats.add(util::mean(acquired[t]));
     out.traces.add(plaintexts[t], std::move(acquired[t]));
   }
@@ -119,6 +186,7 @@ DpaFlowResult run_dpa_flow(const cells::CellLibrary& library,
   DpaFlowResult result;
   result.stats = acq.stats;
   result.mean_current = acq.mean_current;
+  result.diagnostics = std::move(acq.diagnostics);
   result.cpa = sca::cpa_attack(acq.traces, sca::LeakageModel::kHammingWeight,
                                options.keep_time_curves);
   result.dpa = sca::dpa_attack(acq.traces);

@@ -11,12 +11,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "pgmcml/cells/library.hpp"
 #include "pgmcml/netlist/design.hpp"
 #include "pgmcml/power/tracer.hpp"
 #include "pgmcml/sca/attack.hpp"
 #include "pgmcml/sca/traces.hpp"
+#include "pgmcml/spice/solve_error.hpp"
 
 namespace pgmcml::core {
 
@@ -40,6 +42,12 @@ struct DpaFlowOptions {
   int fixed_plaintext = -1;
   /// Use SPICE-extracted current kernels instead of the analytic defaults.
   bool spice_kernels = false;
+  /// Test-only fault hook, called as (trace_index, attempt) before each
+  /// trace is simulated; a throw from here fails that attempt.  The
+  /// acquisition retries a failed trace once, then skips it and records the
+  /// incident — it never aborts the flow.  Keyed on the trace index, so the
+  /// same traces fail at any thread count.
+  std::function<void(std::size_t, int)> acquisition_fault_hook;
 };
 
 struct DpaFlowResult {
@@ -51,6 +59,9 @@ struct DpaFlowResult {
   std::size_t mtd = 0;     ///< measurements to disclosure (0 = never)
   netlist::Design::Stats stats;
   double mean_current = 0.0;  ///< average supply current over all traces [A]
+  /// Aggregated acquisition outcomes: kernel-extraction retries, per-trace
+  /// retries/skips, engine-effort totals.  clean() when nothing failed.
+  spice::FlowDiagnostics diagnostics;
 };
 
 /// Acquires traces of the reduced AES target and mounts the attacks.

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "pgmcml/mcml/area.hpp"
 #include "pgmcml/mcml/bias.hpp"
@@ -49,6 +50,26 @@ StimPlan stim_plan(CellKind kind) {
     case CellKind::kFullAdder: return {0, {0, 1, 0}, 0, 0, false};
   }
   return {};
+}
+
+/// Retry-once-then-record policy shared by every testbench transient in this
+/// file: a failed first attempt is re-run with tightened options; the
+/// outcome (recovery or skip) lands in `diag` either way.
+spice::TranResult run_with_retry(McmlTestbench& bench, const std::string& stage,
+                                 spice::FlowDiagnostics& diag) {
+  diag.record_attempt();
+  spice::TranResult tr = bench.run();
+  diag.engine.merge(tr.stats);
+  if (tr.ok) return tr;
+  diag.record_retry(stage, tr.failure.describe());
+  tr = bench.run(/*tightened=*/true);
+  diag.engine.merge(tr.stats);
+  if (tr.ok) {
+    diag.record_recovery(stage);
+  } else {
+    diag.record_skip(stage, tr.failure.describe());
+  }
+  return tr;
 }
 
 }  // namespace
@@ -177,9 +198,13 @@ void McmlTestbench::build(CellKind kind, const McmlDesign& design,
   }
 }
 
-spice::TranResult McmlTestbench::run() {
+spice::TranResult McmlTestbench::run(bool tightened) {
   spice::TranOptions opt;
   opt.dt_max = 10 * ps;
+  if (tightened) {
+    opt.dt_max *= 0.5;
+    opt.max_newton *= 2;
+  }
   return spice::transient(circuit_, t_stop_, opt);
 }
 
@@ -226,7 +251,8 @@ CellCharacterization characterize_cell(CellKind kind, const McmlDesign& design,
   opt.fanout = fanout;
   McmlTestbench bench(kind, d, opt);
   out.transistors = bench.mosfets();
-  const spice::TranResult tr = bench.run();
+  const spice::TranResult tr =
+      run_with_retry(bench, "characterize:awake", out.diagnostics);
   if (!tr.ok) {
     out.error = "transient: " + tr.error;
     return out;
@@ -262,11 +288,17 @@ CellCharacterization characterize_cell(CellKind kind, const McmlDesign& design,
     sleep_opt.fanout = fanout;
     sleep_opt.asleep = true;
     McmlTestbench sleeping(kind, d, sleep_opt);
+    out.diagnostics.record_attempt();
     const spice::DcResult dc = sleeping.run_dc();
+    out.diagnostics.engine.merge(dc.stats);
     if (dc.converged) {
       spice::Solution sol(dc.x, sleeping.circuit().num_nodes());
       const auto id = sleeping.circuit().find_device("VDD");
       out.sleep_current = -sleeping.circuit().device(id).probe_current(sol);
+    } else {
+      // Leakage is reported as 0 but the miss is recorded, not silent.
+      out.diagnostics.record_skip("characterize:sleep-dc",
+                                  dc.error.describe());
     }
 
     // --- wake-up time --------------------------------------------------------
@@ -275,7 +307,8 @@ CellCharacterization characterize_cell(CellKind kind, const McmlDesign& design,
     wake_opt.sleep_pulse = true;
     wake_opt.sleep_rise_time = 1e-9;
     McmlTestbench waking(kind, d, wake_opt);
-    const spice::TranResult wr = waking.run();
+    const spice::TranResult wr =
+        run_with_retry(waking, "characterize:wake", out.diagnostics);
     if (wr.ok) {
       const util::Waveform w = waking.diff_output(wr);
       const double final_v = w.value_at(waking.t_stop());
@@ -305,16 +338,25 @@ BufferSweepPoint characterize_buffer_at(const McmlDesign& base, double iss) {
   d.w_pair = base.w_pair * std::max(scale, 0.25);
   d.w_load = base.w_load * std::max(scale, 0.25);
   const BiasResult bias = solve_bias(d);
-  if (!bias.ok) return pt;
+  if (!bias.ok) {
+    pt.error = "bias: " + bias.error;
+    return pt;
+  }
   pt.vn = d.vn;
   pt.vp = d.vp;
 
-  auto delay_at = [&](int fanout) -> double {
+  // No -1.0 sentinel: a failed measurement yields nullopt plus a structured
+  // error and an incident in pt.diagnostics.
+  auto delay_at = [&](int fanout) -> std::optional<double> {
     TestbenchOptions opt;
     opt.fanout = fanout;
     McmlTestbench bench(CellKind::kBuf, d, opt);
-    const spice::TranResult tr = bench.run();
-    if (!tr.ok) return -1.0;
+    const std::string stage = "sweep:fo" + std::to_string(fanout);
+    const spice::TranResult tr = run_with_retry(bench, stage, pt.diagnostics);
+    if (!tr.ok) {
+      pt.error = "transient: " + tr.error;
+      return std::nullopt;
+    }
     const util::Waveform vout = bench.diff_output(tr);
     std::vector<double> delays;
     const auto edges = bench.stimulus_edges();
@@ -324,12 +366,19 @@ BufferSweepPoint characterize_buffer_at(const McmlDesign& base, double iss) {
         delays.push_back(*cross - edges[i]);
       }
     }
-    return delays.empty() ? -1.0 : util::mean(delays);
+    if (delays.empty()) {
+      pt.error = "no output transition found at fan-out " +
+                 std::to_string(fanout);
+      return std::nullopt;
+    }
+    return util::mean(delays);
   };
 
-  pt.delay_fo1 = delay_at(1);
-  pt.delay_fo4 = delay_at(4);
-  if (pt.delay_fo1 <= 0.0 || pt.delay_fo4 <= 0.0) return pt;
+  const std::optional<double> fo1 = delay_at(1);
+  const std::optional<double> fo4 = delay_at(4);
+  if (!fo1.has_value() || !fo4.has_value()) return pt;
+  pt.delay_fo1 = *fo1;
+  pt.delay_fo4 = *fo4;
 
   pt.power = d.tech.vdd() * iss;
   // Area grows with the Iss-proportional device widths.  Wiring and

@@ -25,6 +25,9 @@ struct CellCharacterization {
   double sleep_current = 0.0;   ///< supply current with the cell gated off [A]
   double wake_time = 0.0;       ///< sleep->valid-output time [s] (gated only)
   int transistors = 0;
+  /// Per-cell solve outcomes: attempts, retries with tightened options,
+  /// recoveries and skips, plus the engine-effort totals underneath.
+  spice::FlowDiagnostics diagnostics;
 };
 
 /// Characterizes one cell of the library at the given design point.
@@ -34,6 +37,7 @@ CellCharacterization characterize_cell(CellKind kind, const McmlDesign& design,
 /// One point of the Fig. 3 buffer design-space exploration.
 struct BufferSweepPoint {
   bool ok = false;
+  std::string error;       ///< structured failure description when !ok
   double iss = 0.0;        ///< tail current [A]
   double vn = 0.0;
   double vp = 0.0;
@@ -43,6 +47,8 @@ struct BufferSweepPoint {
   double area = 0.0;       ///< area model including Iss-dependent sizing [m^2]
   double power_delay() const { return power * delay_fo4; }
   double area_delay() const { return area * delay_fo4; }
+  /// Per-point solve outcomes (retries/recoveries/skips).
+  spice::FlowDiagnostics diagnostics;
 };
 
 /// Re-biases and re-characterizes the buffer at a given tail current
@@ -74,8 +80,10 @@ class McmlTestbench {
   McmlTestbench(CellKind kind, const McmlDesign& design,
                 TestbenchOptions options = {});
 
-  /// Runs a transient over the standard stimulus window.
-  spice::TranResult run();
+  /// Runs a transient over the standard stimulus window.  `tightened`
+  /// re-runs with halved dt_max and a doubled Newton budget — the one-shot
+  /// retry flow layers issue after a failed first attempt.
+  spice::TranResult run(bool tightened = false);
   /// DC solve only (for leakage / swing checks).
   spice::DcResult run_dc();
 

@@ -21,6 +21,10 @@ struct MonteCarloResult {
   util::RunningStats static_current;
   util::RunningStats swing;
   util::RunningStats sleep_current;
+  /// Aggregated per-sample solve outcomes (attempts, retries with tightened
+  /// options, recoveries, skips), merged in sample order so the aggregate is
+  /// identical at any thread count.
+  spice::FlowDiagnostics diagnostics;
 };
 
 /// Characterizes `kind` `n` times with fresh mismatch draws.  The mismatch

@@ -1,5 +1,7 @@
 #include "pgmcml/mcml/montecarlo.hpp"
 
+#include <optional>
+
 #include "pgmcml/mcml/bias.hpp"
 #include "pgmcml/util/parallel.hpp"
 #include "pgmcml/util/units.hpp"
@@ -17,6 +19,7 @@ struct SampleOutcome {
   double static_current = 0.0;
   bool has_sleep = false;
   double sleep_current = 0.0;
+  spice::FlowDiagnostics diagnostics;
 };
 
 }  // namespace
@@ -49,21 +52,43 @@ MonteCarloResult monte_carlo_characterize(CellKind kind,
   std::vector<SampleOutcome> outcomes(count);
   util::parallel_for(count, [&](std::size_t i) {
     SampleOutcome& out = outcomes[i];
+    const std::string stage = "montecarlo:" + std::to_string(i);
     util::Rng sample_rng = streams[i];
     McmlDesign sample = nominal;
-    sample.mismatch_rng = &sample_rng;
 
     TestbenchOptions opt;
     opt.fanout = 1;
-    McmlTestbench bench(kind, sample, opt);
-    const spice::TranResult tr = bench.run();
+
+    // At most two build-and-run attempts; the retry re-copies the sample's
+    // pre-forked stream so it sees the identical mismatch draw and differs
+    // only in the tightened solver options.
+    std::optional<McmlTestbench> bench;
+    spice::TranResult tr;
+    out.diagnostics.record_attempt();
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      sample_rng = streams[i];
+      sample = nominal;
+      sample.mismatch_rng = &sample_rng;
+      bench.emplace(kind, sample, opt);
+      tr = bench->run(/*tightened=*/attempt > 0);
+      out.diagnostics.engine.merge(tr.stats);
+      if (tr.ok) {
+        if (attempt > 0) out.diagnostics.record_recovery(stage);
+        break;
+      }
+      if (attempt == 0) {
+        out.diagnostics.record_retry(stage, tr.failure.describe());
+      } else {
+        out.diagnostics.record_skip(stage, tr.failure.describe());
+      }
+    }
     if (!tr.ok) {
       out.failed = true;
       return;
     }
-    const util::Waveform vout = bench.diff_output(tr);
-    const auto edges = bench.stimulus_edges();
-    const std::size_t first = bench.sequential() ? 0 : 1;
+    const util::Waveform vout = bench->diff_output(tr);
+    const auto edges = bench->stimulus_edges();
+    const std::size_t first = bench->sequential() ? 0 : 1;
     // Average rise and fall, like the nominal characterization.
     double delay_sum = 0.0;
     int delay_n = 0;
@@ -81,9 +106,9 @@ MonteCarloResult monte_carlo_characterize(CellKind kind,
     }
     out.delay = delay_sum / delay_n;
     out.swing = 0.5 * (vout.max_value() - vout.min_value());
-    const util::Waveform isup = bench.supply_current(tr);
-    const double lo = bench.sequential() ? 3.6e-9 : 1.0e-9;
-    const double hi = bench.sequential() ? 4.4e-9 : 1.9e-9;
+    const util::Waveform isup = bench->supply_current(tr);
+    const double lo = bench->sequential() ? 3.6e-9 : 1.0e-9;
+    const double hi = bench->sequential() ? 4.4e-9 : 1.9e-9;
     out.static_current = isup.average(lo, hi);
 
     if (sample.power_gated()) {
@@ -107,6 +132,7 @@ MonteCarloResult monte_carlo_characterize(CellKind kind,
   });
 
   for (const SampleOutcome& out : outcomes) {
+    result.diagnostics.merge(out.diagnostics);
     if (out.failed) {
       ++result.failures;
       continue;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "pgmcml/mcml/design.hpp"
+#include "pgmcml/spice/solve_error.hpp"
 #include "pgmcml/util/waveform.hpp"
 
 namespace pgmcml::power {
@@ -36,7 +37,13 @@ CurrentKernels default_kernels();
 
 /// Extracts the kernels from transistor-level simulations of the buffer
 /// cell at the given design point (switch transient from an input toggle,
-/// wake/sleep from a sleep-pulse testbench).
-CurrentKernels kernels_from_spice(const mcml::McmlDesign& design);
+/// wake/sleep from a sleep-pulse testbench).  A failed extraction is retried
+/// once with tightened solver options and otherwise falls back to the
+/// analytic default shape for that kernel.  With `diag` supplied, every
+/// attempt/retry/skip is recorded there and a bias failure degrades to the
+/// analytic defaults instead of throwing; without it a bias failure throws
+/// (the legacy contract).
+CurrentKernels kernels_from_spice(const mcml::McmlDesign& design,
+                                  spice::FlowDiagnostics* diag = nullptr);
 
 }  // namespace pgmcml::power

@@ -38,12 +38,45 @@ CurrentKernels default_kernels() {
   return k;
 }
 
-CurrentKernels kernels_from_spice(const mcml::McmlDesign& base) {
+namespace {
+
+/// Retry-once policy for kernel-extraction transients: first attempt at the
+/// standard options, one retry tightened, outcome recorded in `diag` when
+/// the caller provided one.
+spice::TranResult run_kernel_bench(mcml::McmlTestbench& bench,
+                                   const std::string& stage,
+                                   spice::FlowDiagnostics* diag) {
+  if (diag != nullptr) diag->record_attempt();
+  spice::TranResult tr = bench.run();
+  if (diag != nullptr) diag->engine.merge(tr.stats);
+  if (tr.ok || diag == nullptr) return tr;
+  diag->record_retry(stage, tr.failure.describe());
+  tr = bench.run(/*tightened=*/true);
+  diag->engine.merge(tr.stats);
+  if (tr.ok) {
+    diag->record_recovery(stage);
+  } else {
+    diag->record_skip(stage, tr.failure.describe());
+  }
+  return tr;
+}
+
+}  // namespace
+
+CurrentKernels kernels_from_spice(const mcml::McmlDesign& base,
+                                  spice::FlowDiagnostics* diag) {
   CurrentKernels k = default_kernels();  // fallback shapes
 
   mcml::McmlDesign design = base;
   const mcml::BiasResult bias = mcml::solve_bias(design);
   if (!bias.ok) {
+    if (diag != nullptr) {
+      // Degrade to the analytic defaults but leave a record: the flow keeps
+      // running on the fallback shapes instead of aborting.
+      diag->record_attempt();
+      diag->record_skip("kernels:bias", "bias failed: " + bias.error);
+      return k;
+    }
     throw std::runtime_error("kernels_from_spice: bias failed: " + bias.error);
   }
   const double iss = design.eff_iss();
@@ -53,7 +86,7 @@ CurrentKernels kernels_from_spice(const mcml::McmlDesign& base) {
     mcml::TestbenchOptions opt;
     opt.fanout = 1;
     mcml::McmlTestbench bench(mcml::CellKind::kBuf, design, opt);
-    const spice::TranResult tr = bench.run();
+    const spice::TranResult tr = run_kernel_bench(bench, "kernels:switch", diag);
     if (tr.ok) {
       const util::Waveform supply = bench.supply_current(tr);
       // DC level just before the 4 ns edge; transient window after it.
@@ -74,7 +107,7 @@ CurrentKernels kernels_from_spice(const mcml::McmlDesign& base) {
     opt.sleep_pulse = true;
     opt.sleep_rise_time = 1e-9;
     mcml::McmlTestbench bench(mcml::CellKind::kBuf, design, opt);
-    const spice::TranResult tr = bench.run();
+    const spice::TranResult tr = run_kernel_bench(bench, "kernels:wake", diag);
     if (tr.ok) {
       const util::Waveform supply = bench.supply_current(tr);
       Waveform wake;

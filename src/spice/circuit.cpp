@@ -6,6 +6,18 @@
 
 namespace pgmcml::spice {
 
+namespace {
+/// Construction-time guard: a NaN slips past every `> 0`-style range check
+/// (all comparisons with NaN are false), so finiteness is checked explicitly
+/// before any range test.
+void require_finite(double v, const char* device, const char* param) {
+  if (!std::isfinite(v)) {
+    throw std::invalid_argument(std::string(device) + ": " + param +
+                                " must be finite");
+  }
+}
+}  // namespace
+
 // --- Device base ------------------------------------------------------------
 
 void Device::commit(const Solution& x, double t, double dt) {
@@ -20,6 +32,7 @@ void Device::reset_state(const Solution& x) { (void)x; }
 
 Resistor::Resistor(std::string name, NodeId a, NodeId b, double ohms)
     : Device(std::move(name)), a_(a), b_(b), r_(ohms) {
+  require_finite(ohms, "Resistor", "resistance");
   if (!(ohms > 0.0)) {
     throw std::invalid_argument("Resistor: resistance must be positive");
   }
@@ -40,6 +53,8 @@ Capacitor::Capacitor(std::string name, NodeId a, NodeId b, double farads,
       b_(b),
       c_(farads),
       v_prev_(initial_voltage) {
+  require_finite(farads, "Capacitor", "capacitance");
+  require_finite(initial_voltage, "Capacitor", "initial voltage");
   if (!(farads >= 0.0)) {
     throw std::invalid_argument("Capacitor: capacitance must be >= 0");
   }
@@ -136,7 +151,22 @@ double CurrentSource::probe_current(const Solution& x, double t) const {
 
 Mosfet::Mosfet(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
                MosParams params)
-    : Device(std::move(name)), d_(d), g_(g), s_(s), b_(b), params_(params) {}
+    : Device(std::move(name)), d_(d), g_(g), s_(s), b_(b), params_(params) {
+  require_finite(params.w, "Mosfet", "w");
+  require_finite(params.l, "Mosfet", "l");
+  require_finite(params.vth0, "Mosfet", "vth0");
+  require_finite(params.kp, "Mosfet", "kp");
+  require_finite(params.lambda, "Mosfet", "lambda");
+  require_finite(params.n_sub, "Mosfet", "n_sub");
+  require_finite(params.gamma, "Mosfet", "gamma");
+  require_finite(params.phi, "Mosfet", "phi");
+  if (!(params.w > 0.0) || !(params.l > 0.0)) {
+    throw std::invalid_argument("Mosfet: w and l must be positive");
+  }
+  if (!(params.kp > 0.0)) {
+    throw std::invalid_argument("Mosfet: kp must be positive");
+  }
+}
 
 double Mosfet::limited(double v_new, double v_old) const {
   // Clamp the per-iteration change in controlling voltages; 0.3 V steps keep

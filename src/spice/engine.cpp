@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "pgmcml/util/matrix.hpp"
@@ -39,18 +40,52 @@ struct NewtonSettings {
 struct NewtonOutcome {
   bool converged = false;
   int iterations = 0;
+  /// Failure kind when !converged (kNewtonMaxIter, kSingularMatrix or
+  /// kNonFiniteValues); kNone on success.
+  SolveErrorKind failure = SolveErrorKind::kNone;
 };
 
 /// Runs Newton-Raphson on the MNA system in place; `x` is the initial guess
 /// on entry and the solution on (successful) exit.  All scratch storage
-/// lives in `ws`; the loop itself allocates nothing.
+/// lives in `ws`; the loop itself allocates nothing.  Consults `fault` (one
+/// cursor per analysis) so injected faults hit deterministic solve indices,
+/// and reports effort into `stats`.
 NewtonOutcome newton_solve(Circuit& circuit, std::vector<double>& x,
-                           const NewtonSettings& s, NewtonWorkspace& ws) {
+                           const NewtonSettings& s, NewtonWorkspace& ws,
+                           EngineStats& stats, FaultCursor* fault) {
   const std::size_t n = circuit.num_unknowns();
   const std::size_t num_nodes = circuit.num_nodes();
   prepare_workspace(ws, n);
 
   NewtonOutcome out;
+  bool poison_first_iterate = false;
+  if (fault != nullptr) {
+    FaultKind kind;
+    if (fault->next(kind)) {
+      ++stats.faults_injected;
+      switch (kind) {
+        case FaultKind::kNewtonDiverge:
+          // Behave like a run that burned the whole iteration budget.
+          out.iterations = s.max_iterations;
+          out.failure = SolveErrorKind::kNewtonMaxIter;
+          stats.newton_iterations += static_cast<std::size_t>(out.iterations);
+          ++stats.newton_failures;
+          return out;
+        case FaultKind::kSingularMatrix:
+          out.iterations = 1;
+          out.failure = SolveErrorKind::kSingularMatrix;
+          ++stats.newton_iterations;
+          ++stats.newton_failures;
+          return out;
+        case FaultKind::kNanResidual:
+          // Let the run proceed and poison the first candidate solution, so
+          // the real non-finite guard is the thing that trips.
+          poison_first_iterate = true;
+          break;
+      }
+    }
+  }
+
   for (int iter = 0; iter < s.max_iterations; ++iter) {
     ws.a.fill(0.0);
     std::fill(ws.b.begin(), ws.b.end(), 0.0);
@@ -65,11 +100,32 @@ NewtonOutcome newton_solve(Circuit& circuit, std::vector<double>& x,
     ctx.num_nodes = num_nodes;
     for (auto& dev : circuit.devices()) dev->stamp(ctx);
 
+    out.iterations = iter + 1;
     if (!ws.lu.factorize(ws.a)) {
-      out.iterations = iter + 1;
-      return out;  // singular matrix
+      out.failure = ws.lu.status() == util::LuStatus::kNonFinite
+                        ? SolveErrorKind::kNonFiniteValues
+                        : SolveErrorKind::kSingularMatrix;
+      break;
     }
     ws.lu.solve_into(ws.b, ws.x_new);
+    if (poison_first_iterate) {
+      ws.x_new[0] = std::numeric_limits<double>::quiet_NaN();
+      poison_first_iterate = false;
+    }
+
+    // Non-finite guard: a NaN/Inf iterate must become a structured failure
+    // (and a rejected step upstream), never a garbage "solution".
+    bool finite = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(ws.x_new[i])) {
+        finite = false;
+        break;
+      }
+    }
+    if (!finite) {
+      out.failure = SolveErrorKind::kNonFiniteValues;
+      break;
+    }
 
     bool converged = true;
     for (std::size_t i = 0; i < n; ++i) {
@@ -82,17 +138,23 @@ NewtonOutcome newton_solve(Circuit& circuit, std::vector<double>& x,
       }
     }
     x.swap(ws.x_new);  // keep both buffers alive for the next iteration
-    out.iterations = iter + 1;
     if (converged && iter > 0) {
       out.converged = true;
-      return out;
+      break;
     }
   }
+
+  if (!out.converged && out.failure == SolveErrorKind::kNone) {
+    out.failure = SolveErrorKind::kNewtonMaxIter;
+  }
+  stats.newton_iterations += static_cast<std::size_t>(out.iterations);
+  if (!out.converged) ++stats.newton_failures;
   return out;
 }
 
 DcResult dc_operating_point_ws(Circuit& circuit, const DcOptions& options,
-                               NewtonWorkspace& ws) {
+                               NewtonWorkspace& ws, FaultCursor* fault) {
+  options.validate();
   if (!circuit.finalized()) circuit.finalize();
   DcResult result;
   result.x.assign(circuit.num_unknowns(), 0.0);
@@ -103,10 +165,12 @@ DcResult dc_operating_point_ws(Circuit& circuit, const DcOptions& options,
   s.vabstol = options.vabstol;
   s.gmin = options.gmin;
 
+  SolveErrorKind last_failure = SolveErrorKind::kNone;
+
   // 1) Direct attempt from the zero state.
   {
     std::vector<double> x(circuit.num_unknowns(), 0.0);
-    const NewtonOutcome o = newton_solve(circuit, x, s, ws);
+    const NewtonOutcome o = newton_solve(circuit, x, s, ws, result.stats, fault);
     result.iterations += o.iterations;
     if (o.converged) {
       result.converged = true;
@@ -114,6 +178,7 @@ DcResult dc_operating_point_ws(Circuit& circuit, const DcOptions& options,
       result.x = std::move(x);
       return result;
     }
+    last_failure = o.failure;
   }
 
   // 2) Gmin stepping: solve with a large gmin and tighten by decades,
@@ -124,9 +189,12 @@ DcResult dc_operating_point_ws(Circuit& circuit, const DcOptions& options,
     for (double gmin = 1e-3; gmin >= options.gmin * 0.99; gmin *= 0.1) {
       NewtonSettings stage = s;
       stage.gmin = std::max(gmin, options.gmin);
-      const NewtonOutcome o = newton_solve(circuit, x, stage, ws);
+      ++result.stats.gmin_step_stages;
+      const NewtonOutcome o =
+          newton_solve(circuit, x, stage, ws, result.stats, fault);
       result.iterations += o.iterations;
       if (!o.converged) {
+        last_failure = o.failure;
         ok = false;
         break;
       }
@@ -147,16 +215,20 @@ DcResult dc_operating_point_ws(Circuit& circuit, const DcOptions& options,
       NewtonSettings stage = s;
       stage.source_scale = std::min(scale, 1.0);
       stage.gmin = std::max(options.gmin, 1e-9);
-      const NewtonOutcome o = newton_solve(circuit, x, stage, ws);
+      ++result.stats.source_step_stages;
+      const NewtonOutcome o =
+          newton_solve(circuit, x, stage, ws, result.stats, fault);
       result.iterations += o.iterations;
       if (!o.converged) {
+        last_failure = o.failure;
         ok = false;
         break;
       }
     }
     if (ok) {
       // Final tighten at full sources with the target gmin.
-      const NewtonOutcome o = newton_solve(circuit, x, s, ws);
+      const NewtonOutcome o =
+          newton_solve(circuit, x, s, ws, result.stats, fault);
       result.iterations += o.iterations;
       if (o.converged) {
         result.converged = true;
@@ -164,9 +236,28 @@ DcResult dc_operating_point_ws(Circuit& circuit, const DcOptions& options,
         result.x = std::move(x);
         return result;
       }
+      last_failure = o.failure;
     }
   }
 
+  // Structured failure: preserve a specific numeric cause (singular /
+  // non-finite); plain non-convergence becomes kNewtonMaxIter when only the
+  // direct attempt ran, kDcNoConvergence when the fallbacks were exhausted.
+  const bool fallbacks_ran =
+      options.allow_gmin_stepping || options.allow_source_stepping;
+  if (last_failure == SolveErrorKind::kSingularMatrix ||
+      last_failure == SolveErrorKind::kNonFiniteValues) {
+    result.error.kind = last_failure;
+    result.error.message = "DC operating point failed";
+  } else if (fallbacks_ran) {
+    result.error.kind = SolveErrorKind::kDcNoConvergence;
+    result.error.message =
+        "DC operating point failed to converge (direct, gmin-stepping and "
+        "source-stepping exhausted)";
+  } else {
+    result.error.kind = SolveErrorKind::kNewtonMaxIter;
+    result.error.message = "DC operating point failed to converge";
+  }
   return result;
 }
 
@@ -174,8 +265,10 @@ DcResult dc_operating_point_ws(Circuit& circuit, const DcOptions& options,
 /// full operating-point search otherwise.
 DcResult dc_sweep_point(Circuit& circuit, VoltageSource* source, double value,
                         const DcOptions& options,
-                        const std::vector<double>& warm, NewtonWorkspace& ws) {
+                        const std::vector<double>& warm, NewtonWorkspace& ws,
+                        std::uint64_t fault_context) {
   source->set_value(value);
+  FaultCursor cursor(options.fault_plan, fault_context);
   DcResult r;
   if (!warm.empty()) {
     NewtonSettings s{};
@@ -184,7 +277,7 @@ DcResult dc_sweep_point(Circuit& circuit, VoltageSource* source, double value,
     s.vabstol = options.vabstol;
     s.gmin = options.gmin;
     std::vector<double> x = warm;
-    const NewtonOutcome o = newton_solve(circuit, x, s, ws);
+    const NewtonOutcome o = newton_solve(circuit, x, s, ws, r.stats, &cursor);
     if (o.converged) {
       r.converged = true;
       r.method = "warm";
@@ -192,7 +285,11 @@ DcResult dc_sweep_point(Circuit& circuit, VoltageSource* source, double value,
       r.x = std::move(x);
     }
   }
-  if (!r.converged) r = dc_operating_point_ws(circuit, options, ws);
+  if (!r.converged) {
+    const EngineStats warm_stats = r.stats;
+    r = dc_operating_point_ws(circuit, options, ws, &cursor);
+    r.stats.merge(warm_stats);
+  }
   return r;
 }
 
@@ -210,7 +307,51 @@ VoltageSource* find_sweep_source(Circuit& circuit,
   return source;
 }
 
+void require_positive(double v, const char* what) {
+  if (!(v > 0.0) || !std::isfinite(v)) {
+    throw std::invalid_argument(std::string(what) +
+                                " must be positive and finite");
+  }
+}
+
+// gmin = 0 is a legitimate setting (convergence aid disabled), so it gets a
+// weaker check than the tolerances.
+void require_non_negative(double v, const char* what) {
+  if (!(v >= 0.0) || !std::isfinite(v)) {
+    throw std::invalid_argument(std::string(what) +
+                                " must be non-negative and finite");
+  }
+}
+
 }  // namespace
+
+void DcOptions::validate() const {
+  if (max_iterations <= 0) {
+    throw std::invalid_argument("DcOptions: max_iterations must be positive");
+  }
+  require_positive(reltol, "DcOptions: reltol");
+  require_positive(vabstol, "DcOptions: vabstol");
+  require_non_negative(gmin, "DcOptions: gmin");
+}
+
+void TranOptions::validate() const {
+  require_positive(dt_min, "TranOptions: dt_min");
+  require_positive(dt_max, "TranOptions: dt_max");
+  require_positive(dt_initial, "TranOptions: dt_initial");
+  if (!(dt_min <= dt_initial)) {
+    throw std::invalid_argument("TranOptions: dt_min must be <= dt_initial");
+  }
+  if (!(dt_initial <= dt_max)) {
+    throw std::invalid_argument("TranOptions: dt_initial must be <= dt_max");
+  }
+  require_positive(dv_max, "TranOptions: dv_max");
+  if (max_newton <= 0) {
+    throw std::invalid_argument("TranOptions: max_newton must be positive");
+  }
+  require_positive(reltol, "TranOptions: reltol");
+  require_positive(vabstol, "TranOptions: vabstol");
+  require_non_negative(gmin, "TranOptions: gmin");
+}
 
 std::size_t newton_workspace_allocations() {
   return g_workspace_allocations.load(std::memory_order_relaxed);
@@ -218,7 +359,8 @@ std::size_t newton_workspace_allocations() {
 
 DcResult dc_operating_point(Circuit& circuit, const DcOptions& options) {
   NewtonWorkspace ws;
-  return dc_operating_point_ws(circuit, options, ws);
+  FaultCursor cursor(options.fault_plan, options.fault_context);
+  return dc_operating_point_ws(circuit, options, ws, &cursor);
 }
 
 std::vector<DcResult> dc_sweep(Circuit& circuit,
@@ -226,14 +368,18 @@ std::vector<DcResult> dc_sweep(Circuit& circuit,
                                const std::vector<double>& values,
                                const DcOptions& options) {
   VoltageSource* source = find_sweep_source(circuit, source_name);
+  options.validate();
   if (!circuit.finalized()) circuit.finalize();
 
   NewtonWorkspace ws;
   std::vector<DcResult> results;
   results.reserve(values.size());
   std::vector<double> warm;
-  for (double v : values) {
-    DcResult r = dc_sweep_point(circuit, source, v, options, warm, ws);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    // Fault context = point index, matching dc_sweep_batch, so a plan
+    // targets the same sweep point in both entry points.
+    DcResult r = dc_sweep_point(circuit, source, values[i], options, warm, ws,
+                                options.fault_context + i);
     if (r.converged) warm = r.x;
     results.push_back(std::move(r));
   }
@@ -245,6 +391,7 @@ std::vector<DcResult> dc_sweep_batch(
     const std::string& source_name, const std::vector<double>& values,
     const DcOptions& options, std::size_t chunk) {
   if (chunk == 0) chunk = 1;
+  options.validate();
   // Validate the factory and source name eagerly, matching dc_sweep's throws.
   {
     std::unique_ptr<Circuit> probe = make_circuit();
@@ -258,7 +405,8 @@ std::vector<DcResult> dc_sweep_batch(
   const std::size_t batches = (values.size() + chunk - 1) / chunk;
   // grain=1: one task per batch.  Batch boundaries (and therefore every
   // warm-start chain) are fixed by `chunk` alone, keeping the sweep
-  // deterministic at any worker count.
+  // deterministic at any worker count.  Fault contexts are per point, so an
+  // injected fault lands on the same point regardless of batching.
   util::parallel_for(
       batches,
       [&](std::size_t bi) {
@@ -270,8 +418,8 @@ std::vector<DcResult> dc_sweep_batch(
         NewtonWorkspace ws;
         std::vector<double> warm;
         for (std::size_t i = lo; i < hi; ++i) {
-          DcResult r =
-              dc_sweep_point(*circuit, source, values[i], options, warm, ws);
+          DcResult r = dc_sweep_point(*circuit, source, values[i], options,
+                                      warm, ws, options.fault_context + i);
           if (r.converged) warm = r.x;
           results[i] = std::move(r);
         }
@@ -282,25 +430,37 @@ std::vector<DcResult> dc_sweep_batch(
 
 TranResult transient(Circuit& circuit, double t_stop,
                      const TranOptions& options) {
+  options.validate();
   if (!circuit.finalized()) circuit.finalize();
   TranResult result;
   NewtonWorkspace ws;  // shared by the initial DC and every timestep
+  FaultCursor fault(options.fault_plan, options.fault_context);
+
+  auto fail = [&result](SolveErrorKind kind, std::string message, double t) {
+    result.failure.kind = kind;
+    result.failure.message = std::move(message);
+    result.failure.time = t;
+    result.error = result.failure.describe();
+    return result;
+  };
 
   // Initial condition: explicit state or DC operating point.
   std::vector<double> x;
   if (options.initial_state.has_value()) {
     x = *options.initial_state;
     if (x.size() != circuit.num_unknowns()) {
-      result.error = "initial_state size mismatch";
-      return result;
+      return fail(SolveErrorKind::kInvalidInput, "initial_state size mismatch",
+                  0.0);
     }
   } else {
     DcOptions dc_opts;
     dc_opts.gmin = options.gmin;
-    const DcResult dc = dc_operating_point_ws(circuit, dc_opts, ws);
+    const DcResult dc = dc_operating_point_ws(circuit, dc_opts, ws, &fault);
+    result.stats.merge(dc.stats);
     if (!dc.converged) {
-      result.error = "DC operating point failed to converge";
-      return result;
+      return fail(dc.error.kind,
+                  "DC operating point failed to converge: " + dc.error.message,
+                  0.0);
     }
     x = dc.x;
   }
@@ -362,6 +522,15 @@ TranResult transient(Circuit& circuit, double t_stop,
   bool after_discontinuity = true;  // start with backward Euler
   std::vector<double> x_try;        // step candidate, reused across steps
 
+  // Recovery-ladder state.  dt_floor and the gmin boost are per-step
+  // excursions (reset after a successful step); the backward-Euler fallback
+  // is sticky for the rest of the analysis once engaged.
+  double dt_floor = options.dt_min;
+  bool gmin_boosted = false;
+  bool be_fallback = false;
+  constexpr double kFloorShrink = 1e-3;  // rung 1: dt_min -> dt_min * 1e-3
+  constexpr double kGminBoost = 1e3;     // rung 2: gmin -> gmin * 1e3
+
   while (t < t_stop - 1e-18) {
     dt = std::min({dt, options.dt_max, t_stop - t});
     // Land exactly on the next source breakpoint.
@@ -378,22 +547,26 @@ TranResult transient(Circuit& circuit, double t_stop,
       hitting_breakpoint = true;
     }
 
-    // Attempt the step, halving on failure.
+    // Attempt the step; on failure, halve dt down to the active floor, then
+    // climb the recovery ladder before giving up.
     bool accepted = false;
+    SolveErrorKind last_failure = SolveErrorKind::kNone;
     while (!accepted) {
       x_try = x;
       NewtonSettings s{};
       s.max_iterations = options.max_newton;
       s.reltol = options.reltol;
       s.vabstol = options.vabstol;
-      s.gmin = options.gmin;
+      s.gmin = gmin_boosted ? options.gmin * kGminBoost : options.gmin;
       s.t = t + dt;
       s.dt = dt;
-      s.method = (!options.use_trapezoidal || after_discontinuity)
+      s.method = (!options.use_trapezoidal || be_fallback || after_discontinuity)
                      ? Integration::kBackwardEuler
                      : Integration::kTrapezoidal;
-      const NewtonOutcome o = newton_solve(circuit, x_try, s, ws);
+      const NewtonOutcome o =
+          newton_solve(circuit, x_try, s, ws, result.stats, &fault);
       result.newton_iterations += static_cast<std::size_t>(o.iterations);
+      if (!o.converged) last_failure = o.failure;
 
       // Accuracy control: largest node-voltage change this step.
       double dv = 0.0;
@@ -402,7 +575,7 @@ TranResult transient(Circuit& circuit, double t_stop,
           dv = std::max(dv, std::fabs(x_try[i] - x[i]));
         }
       }
-      if (o.converged && (dv <= options.dv_max || dt <= options.dt_min)) {
+      if (o.converged && (dv <= options.dv_max || dt <= dt_floor)) {
         // Accept.
         t += dt;
         x.swap(x_try);
@@ -410,6 +583,16 @@ TranResult transient(Circuit& circuit, double t_stop,
         for (auto& dev : circuit.devices()) dev->commit(sol, t, dt);
         record(t, x);
         ++result.steps_accepted;
+        ++result.stats.steps_accepted;
+        if (be_fallback) ++result.stats.be_fallback_steps;
+        if (dt < options.dt_min || gmin_boosted) {
+          ++result.stats.recovered_steps;
+          // The excursion is temporary: restore the nominal floor and gmin
+          // and re-enter the normal step-size regime.
+          dt = std::max(dt, options.dt_min);
+          dt_floor = options.dt_min;
+          gmin_boosted = false;
+        }
         after_discontinuity = hitting_breakpoint;
         if (o.iterations <= 10 && dv < 0.5 * options.dv_max) {
           dt *= 1.5;
@@ -417,14 +600,42 @@ TranResult transient(Circuit& circuit, double t_stop,
         accepted = true;
       } else {
         ++result.steps_rejected;
-        if (dt <= options.dt_min) {
-          result.error = "transient step failed at minimum timestep, t=" +
-                         std::to_string(t);
-          return result;
-        }
-        dt = std::max(dt * 0.5, options.dt_min);
+        ++result.stats.steps_rejected;
         hitting_breakpoint = false;
         after_discontinuity = true;  // retry conservatively with BE
+        if (dt > dt_floor) {
+          dt = std::max(dt * 0.5, dt_floor);
+          continue;
+        }
+        if (!options.enable_recovery_ladder) {
+          return fail(SolveErrorKind::kTimestepUnderflow,
+                      "transient step failed at minimum timestep (last "
+                      "failure: " +
+                          std::string(to_string(last_failure)) + ")",
+                      t);
+        }
+        // The floor itself failed: climb the ladder deterministically.
+        if (dt_floor == options.dt_min) {
+          // Rung 1: push dt below the nominal floor.
+          dt_floor = options.dt_min * kFloorShrink;
+          dt = dt_floor;
+          ++result.stats.dt_floor_breaches;
+        } else if (!gmin_boosted) {
+          // Rung 2: temporary gmin boost at the shrunken floor.
+          gmin_boosted = true;
+          ++result.stats.gmin_boosts;
+        } else if (options.use_trapezoidal && !be_fallback) {
+          // Rung 3: abandon trapezoidal for the rest of the analysis.
+          be_fallback = true;
+        } else {
+          return fail(
+              SolveErrorKind::kTimestepUnderflow,
+              "transient step failed below minimum timestep with the "
+              "recovery ladder exhausted (dt shrink, gmin boost, "
+              "backward-Euler fallback; last failure: " +
+                  std::string(to_string(last_failure)) + ")",
+              t);
+        }
       }
     }
   }

@@ -1,0 +1,27 @@
+#include "pgmcml/spice/fault.hpp"
+
+#include <stdexcept>
+
+namespace pgmcml::spice {
+
+void FaultPlan::inject(std::uint64_t context, std::size_t solve_index,
+                       FaultKind kind, std::size_t repeat) {
+  if (repeat == 0) {
+    throw std::invalid_argument("FaultPlan::inject: repeat must be >= 1");
+  }
+  sites_.push_back({context, solve_index, solve_index + repeat - 1, kind});
+}
+
+bool FaultPlan::lookup(std::uint64_t context, std::size_t solve_index,
+                       FaultKind& kind) const {
+  for (const Site& s : sites_) {
+    if (s.context == context && solve_index >= s.first_solve &&
+        solve_index <= s.last_solve) {
+      kind = s.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace pgmcml::spice

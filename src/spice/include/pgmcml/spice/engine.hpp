@@ -2,6 +2,15 @@
 // and source stepping fallbacks) and adaptive-step transient analysis
 // (backward-Euler startup, trapezoidal steady integration, breakpoints at
 // source corners, step control from Newton convergence and per-node dV).
+//
+// Failures are structured: every analysis returns a SolveError (typed kind +
+// message) and an EngineStats effort/recovery summary.  Transient solves
+// additionally climb a deterministic recovery ladder before giving up —
+// after repeated Newton failure at the nominal dt_min the engine (1) shrinks
+// dt below the floor, (2) temporarily boosts gmin, (3) falls back from
+// trapezoidal to backward-Euler integration for the rest of the run.  A
+// test-only FaultPlan can force any Newton solve to fail deterministically,
+// so every rung of the ladder is exercisable.
 #pragma once
 
 #include <functional>
@@ -11,6 +20,8 @@
 #include <vector>
 
 #include "pgmcml/spice/circuit.hpp"
+#include "pgmcml/spice/fault.hpp"
+#include "pgmcml/spice/solve_error.hpp"
 #include "pgmcml/util/waveform.hpp"
 
 namespace pgmcml::spice {
@@ -38,6 +49,14 @@ struct DcOptions {
   double gmin = 1e-12;     ///< final gmin [S]
   bool allow_gmin_stepping = true;
   bool allow_source_stepping = true;
+  /// Test-only deterministic fault injection (see fault.hpp); faults are
+  /// addressed by (fault_context, newton-solve index within the analysis).
+  const FaultPlan* fault_plan = nullptr;
+  std::uint64_t fault_context = 0;
+
+  /// Throws std::invalid_argument when the invariants are violated
+  /// (positive tolerances / iteration cap).  Called by every analysis.
+  void validate() const;
 };
 
 struct DcResult {
@@ -45,6 +64,8 @@ struct DcResult {
   int iterations = 0;
   std::string method;  ///< "direct", "gmin-step", "source-step"
   std::vector<double> x;
+  SolveError error;    ///< kind == kNone on success
+  EngineStats stats;
 
   double v(const Circuit& c, NodeId n) const {
     Solution sol(x, c.num_nodes());
@@ -68,11 +89,24 @@ struct TranOptions {
   std::vector<DeviceId> record_devices;
   /// Optional externally supplied initial condition (from a prior DC).
   std::optional<std::vector<double>> initial_state;
+  /// Recovery ladder: when false, a step failure at dt_min fails the
+  /// analysis immediately (the pre-ladder behaviour).
+  bool enable_recovery_ladder = true;
+  /// Test-only deterministic fault injection (see fault.hpp).  The solve
+  /// index counts every Newton run of the analysis, initial DC included.
+  const FaultPlan* fault_plan = nullptr;
+  std::uint64_t fault_context = 0;
+
+  /// Throws std::invalid_argument when the invariants are violated
+  /// (dt_min <= dt_initial <= dt_max, positive tolerances and caps).
+  void validate() const;
 };
 
 struct TranResult {
   bool ok = false;
-  std::string error;
+  std::string error;    ///< rendered `failure` (kept for existing callers)
+  SolveError failure;   ///< typed failure; kind == kNone on success
+  EngineStats stats;
   std::size_t steps_accepted = 0;
   std::size_t steps_rejected = 0;
   std::size_t newton_iterations = 0;

@@ -1,0 +1,83 @@
+// Deterministic fault injection for the analysis engines (test-only).
+//
+// A FaultPlan describes, ahead of time, which Newton solves of an analysis
+// should fail and how.  Faults are addressed by (context, solve_index) the
+// same way Rng::stream addresses random streams by (seed, index): `context`
+// identifies one analysis among many (a sweep point, a Monte-Carlo sample,
+// a trace), `solve_index` counts newton_solve invocations within that
+// analysis.  The plan itself is immutable once handed to the engine, so one
+// plan can be shared by every worker of a parallel_for region and the
+// injected faults land on exactly the same solves at any thread count.
+//
+// Injection is cooperative: the engine consults the plan at the top of each
+// Newton run and either aborts the run with the requested failure
+// (divergence, singular matrix) or poisons the first iterate with a NaN so
+// the real non-finite guard trips.  Every recovery path in the engine is
+// therefore exercisable from tests without constructing a pathological
+// circuit for each failure mode.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pgmcml::spice {
+
+/// What the injected fault forces the targeted Newton run to do.
+enum class FaultKind {
+  kNewtonDiverge,   ///< report non-convergence after the iteration cap
+  kSingularMatrix,  ///< report a singular-matrix factorization failure
+  kNanResidual,     ///< poison the first iterate with NaN (guard must trip)
+};
+
+/// Immutable description of faults to inject, addressed by
+/// (context, solve_index).  Build it in a test, pass it via
+/// DcOptions/TranOptions, share it freely across threads.
+class FaultPlan {
+ public:
+  /// Injects `kind` into the `solve_index`-th Newton run (0-based) of the
+  /// analysis with the given context.  `repeat` consecutive Newton runs
+  /// starting at `solve_index` are faulted (so a test can defeat retries).
+  void inject(std::uint64_t context, std::size_t solve_index, FaultKind kind,
+              std::size_t repeat = 1);
+
+  /// Fault for (context, solve_index), if any.  Returns true and sets `kind`.
+  bool lookup(std::uint64_t context, std::size_t solve_index,
+              FaultKind& kind) const;
+
+  bool empty() const { return sites_.empty(); }
+
+ private:
+  struct Site {
+    std::uint64_t context;
+    std::size_t first_solve;
+    std::size_t last_solve;  ///< inclusive
+    FaultKind kind;
+  };
+  std::vector<Site> sites_;
+};
+
+/// Per-analysis cursor over a FaultPlan: owns the solve counter so that a
+/// shared plan stays read-only.  One cursor per analysis, never shared.
+class FaultCursor {
+ public:
+  FaultCursor() = default;
+  FaultCursor(const FaultPlan* plan, std::uint64_t context)
+      : plan_(plan), context_(context) {}
+
+  /// Consumes one solve index; returns true and sets `kind` when the plan
+  /// targets this solve.
+  bool next(FaultKind& kind) {
+    if (plan_ == nullptr) return false;
+    return plan_->lookup(context_, counter_++, kind);
+  }
+
+  bool active() const { return plan_ != nullptr && !plan_->empty(); }
+
+ private:
+  const FaultPlan* plan_ = nullptr;
+  std::uint64_t context_ = 0;
+  std::size_t counter_ = 0;
+};
+
+}  // namespace pgmcml::spice

@@ -1,0 +1,100 @@
+// Typed failure taxonomy and diagnostics for the analysis engines.
+//
+// Every analog solve in the pipeline (DC operating points, transients, the
+// sweeps and acquisitions built on them) reports failure through a
+// SolveError carrying a machine-checkable kind, and success/failure alike
+// through EngineStats counting what the solver had to do (Newton iterations,
+// fallbacks, recovery-ladder rungs).  Flow-level callers aggregate per-point
+// outcomes into a FlowDiagnostics that benches emit as JSON, so a stiff or
+// degenerate circuit becomes a recorded, diagnosable event instead of a
+// silent sentinel or an abort.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pgmcml::spice {
+
+/// Why a solve failed.  kNone means success.
+enum class SolveErrorKind {
+  kNone = 0,
+  kSingularMatrix,      ///< LU pivot below the singularity threshold
+  kNonFiniteValues,     ///< NaN/Inf in the Newton iterate or system
+  kNewtonMaxIter,       ///< Newton-Raphson hit the iteration cap
+  kTimestepUnderflow,   ///< transient ladder exhausted below dt_min
+  kDcNoConvergence,     ///< direct + gmin-stepping + source-stepping all failed
+  kInvalidInput,        ///< malformed options or initial state
+};
+
+/// Short stable identifier ("singular-matrix", "newton-max-iter", ...).
+const char* to_string(SolveErrorKind kind);
+
+/// Structured solve failure: kind + human-readable context.
+struct SolveError {
+  SolveErrorKind kind = SolveErrorKind::kNone;
+  std::string message;
+  double time = 0.0;  ///< transient time of the failure (0 for DC)
+
+  bool ok() const { return kind == SolveErrorKind::kNone; }
+  /// "kind: message" (with "at t=..." appended for transient failures).
+  std::string describe() const;
+};
+
+/// Per-analysis effort and recovery counters.  Populated by every DC and
+/// transient solve; flow layers merge them across points.
+struct EngineStats {
+  std::size_t newton_iterations = 0;  ///< total NR iterations
+  std::size_t newton_failures = 0;    ///< NR runs that did not converge
+  std::size_t steps_accepted = 0;     ///< transient steps accepted
+  std::size_t steps_rejected = 0;     ///< transient steps rejected
+  std::size_t gmin_step_stages = 0;   ///< DC gmin-stepping stages run
+  std::size_t source_step_stages = 0; ///< DC source-stepping stages run
+  std::size_t dt_floor_breaches = 0;  ///< ladder rung 1: dt pushed below dt_min
+  std::size_t gmin_boosts = 0;        ///< ladder rung 2: temporary gmin boost
+  std::size_t be_fallback_steps = 0;  ///< ladder rung 3: steps integrated in
+                                      ///< the backward-Euler fallback mode
+  std::size_t recovered_steps = 0;    ///< steps accepted via a ladder rung
+  std::size_t faults_injected = 0;    ///< FaultPlan injections consumed
+
+  void merge(const EngineStats& other);
+};
+
+/// One recorded failure (or recovery) at the flow level.
+struct FlowIncident {
+  std::string stage;      ///< e.g. "characterize:BUF", "trace:17"
+  std::string error;      ///< rendered SolveError / exception text
+  bool recovered = false; ///< a retry succeeded; the point was not lost
+};
+
+/// Aggregated outcome of a multi-point flow stage (a sweep, a Monte-Carlo
+/// run, a trace acquisition): how many points were attempted, retried,
+/// recovered or skipped, with the engine-effort totals underneath.
+struct FlowDiagnostics {
+  std::size_t attempts = 0;  ///< points attempted
+  std::size_t retries = 0;   ///< retry attempts issued
+  std::size_t recovered = 0; ///< points saved by a retry
+  std::size_t skipped = 0;   ///< points abandoned after the retry
+  std::vector<FlowIncident> incidents;
+  EngineStats engine;
+
+  bool clean() const { return retries == 0 && skipped == 0; }
+
+  void record_attempt() { ++attempts; }
+  /// A first attempt failed and a retry was issued.
+  void record_retry(const std::string& stage, const std::string& error);
+  /// The retry succeeded: upgrade the incident to recovered.
+  void record_recovery(const std::string& stage);
+  /// The retry failed too: the point is skipped.
+  void record_skip(const std::string& stage, const std::string& error);
+
+  /// Index-ordered merge (callers collect per-point diagnostics in a vector
+  /// and merge serially, keeping the aggregate thread-count invariant).
+  void merge(const FlowDiagnostics& other);
+
+  /// Compact JSON object for bench output, e.g.
+  /// {"attempts": 12, "retries": 1, "recovered": 1, "skipped": 0, ...}.
+  std::string to_json() const;
+};
+
+}  // namespace pgmcml::spice

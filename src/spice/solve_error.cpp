@@ -1,0 +1,121 @@
+#include "pgmcml/spice/solve_error.hpp"
+
+#include <sstream>
+
+namespace pgmcml::spice {
+
+const char* to_string(SolveErrorKind kind) {
+  switch (kind) {
+    case SolveErrorKind::kNone: return "none";
+    case SolveErrorKind::kSingularMatrix: return "singular-matrix";
+    case SolveErrorKind::kNonFiniteValues: return "non-finite-values";
+    case SolveErrorKind::kNewtonMaxIter: return "newton-max-iter";
+    case SolveErrorKind::kTimestepUnderflow: return "timestep-underflow";
+    case SolveErrorKind::kDcNoConvergence: return "dc-no-convergence";
+    case SolveErrorKind::kInvalidInput: return "invalid-input";
+  }
+  return "unknown";
+}
+
+std::string SolveError::describe() const {
+  if (ok()) return "ok";
+  std::ostringstream os;
+  os << to_string(kind);
+  if (!message.empty()) os << ": " << message;
+  if (time > 0.0) os << " (t=" << time << ")";
+  return os.str();
+}
+
+void EngineStats::merge(const EngineStats& other) {
+  newton_iterations += other.newton_iterations;
+  newton_failures += other.newton_failures;
+  steps_accepted += other.steps_accepted;
+  steps_rejected += other.steps_rejected;
+  gmin_step_stages += other.gmin_step_stages;
+  source_step_stages += other.source_step_stages;
+  dt_floor_breaches += other.dt_floor_breaches;
+  gmin_boosts += other.gmin_boosts;
+  be_fallback_steps += other.be_fallback_steps;
+  recovered_steps += other.recovered_steps;
+  faults_injected += other.faults_injected;
+}
+
+void FlowDiagnostics::record_retry(const std::string& stage,
+                                   const std::string& error) {
+  ++retries;
+  incidents.push_back({stage, error, false});
+}
+
+void FlowDiagnostics::record_recovery(const std::string& stage) {
+  ++recovered;
+  // Upgrade the matching retry incident (most recent for this stage).
+  for (auto it = incidents.rbegin(); it != incidents.rend(); ++it) {
+    if (it->stage == stage) {
+      it->recovered = true;
+      return;
+    }
+  }
+  incidents.push_back({stage, "", true});
+}
+
+void FlowDiagnostics::record_skip(const std::string& stage,
+                                  const std::string& error) {
+  ++skipped;
+  incidents.push_back({stage, error, false});
+}
+
+void FlowDiagnostics::merge(const FlowDiagnostics& other) {
+  attempts += other.attempts;
+  retries += other.retries;
+  recovered += other.recovered;
+  skipped += other.skipped;
+  incidents.insert(incidents.end(), other.incidents.begin(),
+                   other.incidents.end());
+  engine.merge(other.engine);
+}
+
+namespace {
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+}  // namespace
+
+std::string FlowDiagnostics::to_json() const {
+  std::string out = "{";
+  out += "\"attempts\": " + std::to_string(attempts);
+  out += ", \"retries\": " + std::to_string(retries);
+  out += ", \"recovered\": " + std::to_string(recovered);
+  out += ", \"skipped\": " + std::to_string(skipped);
+  out += ", \"newton_iterations\": " + std::to_string(engine.newton_iterations);
+  out += ", \"newton_failures\": " + std::to_string(engine.newton_failures);
+  out += ", \"steps_rejected\": " + std::to_string(engine.steps_rejected);
+  out += ", \"dt_floor_breaches\": " + std::to_string(engine.dt_floor_breaches);
+  out += ", \"gmin_boosts\": " + std::to_string(engine.gmin_boosts);
+  out += ", \"be_fallback_steps\": " + std::to_string(engine.be_fallback_steps);
+  out += ", \"recovered_steps\": " + std::to_string(engine.recovered_steps);
+  out += ", \"faults_injected\": " + std::to_string(engine.faults_injected);
+  out += ", \"incidents\": [";
+  for (std::size_t i = 0; i < incidents.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"stage\": ";
+    append_json_string(out, incidents[i].stage);
+    out += ", \"error\": ";
+    append_json_string(out, incidents[i].error);
+    out += ", \"recovered\": ";
+    out += incidents[i].recovered ? "true" : "false";
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace pgmcml::spice

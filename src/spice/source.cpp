@@ -8,7 +8,20 @@
 
 namespace pgmcml::spice {
 
+namespace {
+/// NaN passes every range comparison unnoticed and would quietly poison the
+/// MNA right-hand side, so source parameters are checked for finiteness at
+/// construction time where the error message can still name the field.
+void require_finite(double v, const char* what) {
+  if (!std::isfinite(v)) {
+    throw std::invalid_argument(std::string("SourceSpec: ") + what +
+                                " must be finite");
+  }
+}
+}  // namespace
+
 SourceSpec SourceSpec::dc(double value) {
+  require_finite(value, "dc value");
   SourceSpec s;
   s.kind_ = Kind::kDc;
   s.v0_ = value;
@@ -17,6 +30,17 @@ SourceSpec SourceSpec::dc(double value) {
 
 SourceSpec SourceSpec::pulse(double v0, double v1, double delay, double t_rise,
                              double t_fall, double width, double period) {
+  require_finite(v0, "pulse v0");
+  require_finite(v1, "pulse v1");
+  require_finite(delay, "pulse delay");
+  require_finite(t_rise, "pulse t_rise");
+  require_finite(t_fall, "pulse t_fall");
+  require_finite(width, "pulse width");
+  require_finite(period, "pulse period");
+  if (delay < 0.0 || t_rise < 0.0 || t_fall < 0.0 || width < 0.0) {
+    throw std::invalid_argument(
+        "SourceSpec: pulse timing parameters must be non-negative");
+  }
   SourceSpec s;
   s.kind_ = Kind::kPulse;
   s.v0_ = v0;
@@ -30,8 +54,10 @@ SourceSpec SourceSpec::pulse(double v0, double v1, double delay, double t_rise,
 }
 
 SourceSpec SourceSpec::pwl(std::vector<std::pair<double, double>> points) {
-  for (std::size_t i = 1; i < points.size(); ++i) {
-    if (points[i].first < points[i - 1].first) {
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    require_finite(points[i].first, "pwl time");
+    require_finite(points[i].second, "pwl value");
+    if (i > 0 && points[i].first < points[i - 1].first) {
       throw std::invalid_argument("SourceSpec::pwl: points must be time-sorted");
     }
   }

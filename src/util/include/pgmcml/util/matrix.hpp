@@ -36,12 +36,23 @@ class Matrix {
   std::vector<double> data_;
 };
 
+/// Why a factorization failed (or kOk).
+enum class LuStatus {
+  kOk,
+  kSingular,   ///< a pivot fell below the (scale-aware) singularity threshold
+  kNonFinite,  ///< the input matrix contains NaN or Inf
+};
+
 /// LU factorization with partial pivoting; reusable across solves.
 class LuSolver {
  public:
   /// Factorizes `a` in place (a copy is kept internally).
-  /// Returns false if the matrix is numerically singular.
+  /// Returns false if the matrix is numerically singular or contains
+  /// non-finite entries; `status()` distinguishes the two.
   bool factorize(const Matrix& a);
+
+  /// Outcome of the last factorize() call.
+  LuStatus status() const { return status_; }
 
   /// Solves LUx = b for x; `factorize` must have succeeded first.
   std::vector<double> solve(std::span<const double> b) const;
@@ -59,6 +70,7 @@ class LuSolver {
   Matrix lu_;
   std::vector<std::size_t> pivots_;
   bool ok_ = false;
+  LuStatus status_ = LuStatus::kSingular;
 };
 
 }  // namespace pgmcml::util

@@ -26,6 +26,26 @@ bool LuSolver::factorize(const Matrix& a) {
   lu_ = a;
   pivots_.resize(n);
   ok_ = true;
+  status_ = LuStatus::kOk;
+
+  // Non-finite entries would silently defeat the pivot search (NaN
+  // comparisons are all false) and propagate garbage through the
+  // substitutions, so reject them up front.  Record each column's original
+  // scale while scanning: MNA systems legitimately mix pivots many decades
+  // apart (gmin-only nodes next to capacitor companion conductances), so
+  // singularity must be judged per column, not against the global maximum.
+  std::vector<double> col_scale(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      const double v = lu_.at(r, c);
+      if (!std::isfinite(v)) {
+        ok_ = false;
+        status_ = LuStatus::kNonFinite;
+        return false;
+      }
+      col_scale[c] = std::max(col_scale[c], std::fabs(v));
+    }
+  }
 
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivoting: find the largest magnitude in column k.
@@ -39,8 +59,12 @@ bool LuSolver::factorize(const Matrix& a) {
       }
     }
     pivots_[k] = pivot;
-    if (best < 1e-300) {
+    // A pivot annihilated to rounding noise relative to its own column's
+    // original scale means the column was a linear combination of earlier
+    // ones: numerically singular even though not literally zero.
+    if (best < std::max(1e-300, 1e-13 * col_scale[k])) {
       ok_ = false;
+      status_ = LuStatus::kSingular;
       return false;
     }
     if (pivot != k) {
