@@ -16,6 +16,7 @@
 #include "pgmcml/core/sbox_unit.hpp"
 #include "pgmcml/netlist/logicsim.hpp"
 #include "pgmcml/power/kernels.hpp"
+#include "pgmcml/sca/accumulator.hpp"
 #include "pgmcml/sca/attack.hpp"
 #include "pgmcml/util/rng.hpp"
 #include "pgmcml/util/table.hpp"
@@ -25,9 +26,11 @@ namespace {
 using namespace pgmcml;
 using cells::CellLibrary;
 
-/// Acquires PG-MCML traces with explicit tracer knobs.
-sca::TraceSet acquire(double residual_sigma, double supply_noise_ratio,
-                      std::size_t n_traces, std::uint8_t key) {
+/// Mounts CPA on PG-MCML with explicit tracer knobs, streaming each trace
+/// into the accumulator through one reused row buffer -- the sweep's memory
+/// is O(samples), independent of the trace budget.
+sca::CpaResult run_cpa(double residual_sigma, double supply_noise_ratio,
+                       std::size_t n_traces, std::uint8_t key) {
   const CellLibrary lib = CellLibrary::pgmcml90();
   const synth::MapResult mapped = core::map_reduced_aes(lib);
 
@@ -78,7 +81,8 @@ sca::TraceSet acquire(double residual_sigma, double supply_noise_ratio,
   }
 
   util::Rng rng(13);
-  sca::TraceSet traces(topt.samples);
+  sca::CpaAccumulator acc(sca::LeakageModel::kHammingWeight, topt.samples);
+  std::vector<double> row;
   for (std::size_t t = 0; t < n_traces; ++t) {
     const auto plaintext = static_cast<std::uint8_t>(rng.bounded(256));
     netlist::LogicSim sim(mapped.design, &lib);
@@ -96,9 +100,10 @@ sca::TraceSet acquire(double residual_sigma, double supply_noise_ratio,
       stim.emplace_back(p_nets[b], (plaintext >> b) & 1);
     }
     sim.apply_and_settle(stim);
-    traces.add(plaintext, tracer.trace(sim.events(), {}, t));
+    tracer.trace_into(sim.events(), {}, t, row);
+    acc.add(plaintext, row);
   }
-  return traces;
+  return acc.snapshot();
 }
 
 void print_security_ablation() {
@@ -107,8 +112,7 @@ void print_security_ablation() {
   util::Table t1("PG-MCML security vs leg-imbalance residual (2000 traces)");
   t1.header({"residual sigma", "key rank", "margin"});
   for (double sigma : {0.002, 0.01, 0.05, 0.2}) {
-    const auto traces = acquire(sigma, 0.0025, 2000, key);
-    const auto r = sca::cpa_attack(traces);
+    const auto r = run_cpa(sigma, 0.0025, 2000, key);
     t1.row({util::Table::num(sigma, 3), std::to_string(r.key_rank(key)),
             util::Table::num(r.margin(key), 4)});
   }
@@ -129,6 +133,7 @@ void print_security_ablation() {
     opt.num_traces = 2000;
     opt.samples = 500;
     opt.noise_sigma = noise;
+    opt.keep_traces = false;  // the sweep only needs the attack statistics
     const auto r = core::run_dpa_flow(CellLibrary::cmos90(), opt);
     flow_diag.merge(r.diagnostics);
     t2.row({util::Table::num(noise * 1e6, 0), std::to_string(r.key_rank)});
@@ -152,7 +157,7 @@ void print_security_ablation() {
 
 void BM_SecurityTracePoint(benchmark::State& state) {
   for (auto _ : state) {
-    benchmark::DoNotOptimize(acquire(0.002, 0.0025, 16, 0x2b));
+    benchmark::DoNotOptimize(run_cpa(0.002, 0.0025, 16, 0x2b));
   }
 }
 BENCHMARK(BM_SecurityTracePoint)->Unit(benchmark::kMillisecond);

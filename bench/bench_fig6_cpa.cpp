@@ -6,14 +6,23 @@
 // conventional MCML nor PG-MCML reveals the key -- the correct key's
 // correlation curve stays buried among the wrong guesses.
 //
-// PGMCML_FIG6_TRACES can override the per-style trace budget (default 4000;
-// the paper's full sweep is 65536).
+// The whole evaluation streams: acquisition runs batch-by-batch through the
+// accumulator engine with keep_traces off, so the campaign never
+// materializes a trace matrix (the peak-RSS figure in BENCH_sca.json is the
+// receipt).  PGMCML_FIG6_TRACES can override the per-style trace budget
+// (default 4000; the paper's full sweep is 65536).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "pgmcml/core/dpa_flow.hpp"
+#include "pgmcml/sca/accumulator.hpp"
 #include "pgmcml/sca/tvla.hpp"
 #include "pgmcml/util/table.hpp"
 
@@ -29,11 +38,45 @@ std::size_t trace_budget() {
   return 4000;
 }
 
-void print_fig6() {
+double now_seconds() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
+}
+
+/// Peak resident-set size of this process in kB (VmHWM), 0 where
+/// /proc/self/status is unavailable (non-Linux).
+std::size_t peak_rss_kb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %zu", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+/// Per-style measurements collected for BENCH_sca.json.
+struct StyleBench {
+  std::string style;
+  std::size_t traces = 0;
+  double cpa_seconds = 0.0;      ///< streamed acquisition + attack
+  int key_rank = -1;
+  std::size_t mtd = 0;
+  double tvla_max_t = 0.0;
+  std::string diagnostics_json;
+  double traces_per_second() const {
+    return cpa_seconds > 0.0 ? static_cast<double>(traces) / cpa_seconds : 0.0;
+  }
+};
+
+void print_fig6(std::vector<StyleBench>& bench) {
   core::DpaFlowOptions opt;
   opt.num_traces = trace_budget();
   opt.samples = 600;
   opt.keep_time_curves = true;
+  opt.keep_traces = false;  // bounded memory: one batch resident at a time
 
   util::Table t("Fig. 6 / Section 6 -- CPA on the reduced AES");
   t.header({"Style", "traces", "key rank", "best guess", "true key",
@@ -43,7 +86,17 @@ void print_fig6() {
        {CellLibrary::cmos90(), CellLibrary::mcml90(), CellLibrary::pgmcml90()}) {
     core::DpaFlowOptions style_opt = opt;
     style_opt.compute_mtd = lib.style() == cells::LogicStyle::kCmos;
+    const double t0 = now_seconds();
     const core::DpaFlowResult r = core::run_dpa_flow(lib, style_opt);
+    StyleBench sb;
+    sb.style = to_string(lib.style());
+    sb.traces = opt.num_traces;
+    sb.cpa_seconds = now_seconds() - t0;
+    sb.key_rank = r.key_rank;
+    sb.mtd = r.mtd;
+    sb.diagnostics_json = r.diagnostics.to_json();
+    bench.push_back(sb);
+
     double best_wrong = 0.0;
     for (int k = 0; k < 256; ++k) {
       if (k != opt.key) {
@@ -90,28 +143,37 @@ void print_fig6() {
       "distinguishable.\n\n");
 
   // Model-free leakage assessment (TVLA, fixed-vs-random Welch t-test) on
-  // the same acquisition engine: |t| > 4.5 flags leakage.
+  // the same acquisition engine: |t| > 4.5 flags leakage.  Both classes
+  // stream straight into the Welford accumulator -- the fixed and random
+  // campaigns never exist as trace matrices.
   util::Table tv("TVLA fixed-vs-random t-test (methodological extension)");
   tv.header({"Style", "fixed/random traces", "max |t|", "verdict"});
-  for (const CellLibrary& lib :
-       {CellLibrary::cmos90(), CellLibrary::mcml90(), CellLibrary::pgmcml90()}) {
+  for (std::size_t s = 0; s < bench.size(); ++s) {
+    const CellLibrary lib = s == 0   ? CellLibrary::cmos90()
+                            : s == 1 ? CellLibrary::mcml90()
+                                     : CellLibrary::pgmcml90();
     core::DpaFlowOptions aopt;
     aopt.num_traces = std::min<std::size_t>(trace_budget() / 2, 1500);
     aopt.samples = 500;
-    const sca::TraceSet random_ts = core::acquire_reduced_aes_traces(lib, aopt);
     core::DpaFlowOptions fopt = aopt;
     fopt.fixed_plaintext = 0x52;  // conventional TVLA fixed vector
     fopt.seed = aopt.seed + 1;    // independent noise draws
-    const sca::TraceSet fixed_ts = core::acquire_reduced_aes_traces(lib, fopt);
-    std::vector<std::vector<double>> fixed;
-    std::vector<std::vector<double>> random;
-    for (std::size_t i = 0; i < random_ts.num_traces(); ++i) {
-      random.push_back(random_ts.trace(i));
+
+    sca::TvlaAccumulator acc(aopt.samples);
+    sca::TraceBatch batch;
+    // The class label is which acquisition a trace came from, not its
+    // plaintext: a random-class trace may coincidentally equal 0x52.
+    auto random_src = core::make_acquisition_source(lib, aopt);
+    while (random_src->next(batch)) {
+      for (const auto& trace : batch.traces) acc.add(false, trace);
     }
-    for (std::size_t i = 0; i < fixed_ts.num_traces(); ++i) {
-      fixed.push_back(fixed_ts.trace(i));
+    auto fixed_src = core::make_acquisition_source(lib, fopt);
+    while (fixed_src->next(batch)) {
+      for (const auto& trace : batch.traces) acc.add(true, trace);
     }
-    const sca::TvlaResult tr = sca::tvla_t_test(fixed, random);
+
+    const sca::TvlaResult tr = acc.snapshot();
+    bench[s].tvla_max_t = tr.max_abs_t;
     tv.row({to_string(lib.style()),
             std::to_string(tr.fixed_traces) + "/" +
                 std::to_string(tr.random_traces),
@@ -127,6 +189,31 @@ void print_fig6() {
       "while CPA (above)\nstill cannot rank the key.  This mirrors published "
       "TVLA results on hiding countermeasures and\nrefines the paper's "
       "CPA-only security claim.\n\n");
+}
+
+void write_bench_json(const std::vector<StyleBench>& bench) {
+  std::FILE* f = std::fopen("BENCH_sca.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_sca.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"peak_rss_kb\": %zu,\n  \"styles\": [\n",
+               peak_rss_kb());
+  for (std::size_t i = 0; i < bench.size(); ++i) {
+    const StyleBench& s = bench[i];
+    std::fprintf(f,
+                 "    {\"style\": \"%s\", \"traces\": %zu, "
+                 "\"seconds\": %.6f, \"traces_per_s\": %.1f, "
+                 "\"key_rank\": %d, \"mtd\": %zu, \"tvla_max_t\": %.4f, "
+                 "\"diagnostics\": %s}%s\n",
+                 s.style.c_str(), s.traces, s.cpa_seconds,
+                 s.traces_per_second(), s.key_rank, s.mtd, s.tvla_max_t,
+                 s.diagnostics_json.c_str(),
+                 i + 1 < bench.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("Wrote BENCH_sca.json\n\n");
 }
 
 void BM_CpaAttackOnly(benchmark::State& state) {
@@ -155,7 +242,9 @@ BENCHMARK(BM_TraceAcquisition)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_fig6();
+  std::vector<StyleBench> bench;
+  print_fig6(bench);
+  write_bench_json(bench);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

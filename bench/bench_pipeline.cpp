@@ -14,6 +14,8 @@
 #include "pgmcml/core/dpa_flow.hpp"
 #include "pgmcml/mcml/characterize.hpp"
 #include "pgmcml/mcml/montecarlo.hpp"
+#include "pgmcml/sca/accumulator.hpp"
+#include "pgmcml/sca/trace_source.hpp"
 #include "pgmcml/spice/engine.hpp"
 #include "pgmcml/util/parallel.hpp"
 
@@ -109,6 +111,29 @@ int main() {
     double sum = 0.0;
     for (double v : r.peak_correlation) sum += v;
     return sum;
+  }));
+
+  stages.push_back(time_stage("cpa_shard", [&] {
+    // Shard-parallel accumulation with fixed 64-trace shards merged in
+    // ascending order: thread-count invariant by construction.
+    const sca::CpaAccumulator acc = sca::cpa_accumulate_sharded(
+        cpa_input, sca::LeakageModel::kHammingWeight, 64);
+    const sca::CpaResult r = acc.snapshot();
+    double sum = 0.0;
+    for (double v : r.peak_correlation) sum += v;
+    return sum;
+  }));
+
+  stages.push_back(time_stage("mtd", [&] {
+    // Checkpointed single-pass MTD over the same traces: one accumulator
+    // stream, snapshots at the grid points, no prefix reruns.
+    sca::MtdTracker tracker(sca::LeakageModel::kHammingWeight,
+                            cpa_input.samples_per_trace(), acq_opt.key,
+                            cpa_input.num_traces());
+    sca::TraceSetSource source(cpa_input);
+    sca::TraceBatch batch;
+    while (source.next(batch)) tracker.add_batch(batch);
+    return static_cast<double>(tracker.finish());
   }));
 
   stages.push_back(time_stage("montecarlo", [&] {

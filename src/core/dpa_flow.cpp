@@ -1,11 +1,14 @@
 #include "pgmcml/core/dpa_flow.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "pgmcml/core/sbox_unit.hpp"
 #include "pgmcml/netlist/logicsim.hpp"
 #include "pgmcml/power/kernels.hpp"
+#include "pgmcml/sca/accumulator.hpp"
 #include "pgmcml/util/parallel.hpp"
 #include "pgmcml/util/rng.hpp"
 #include "pgmcml/util/stats.hpp"
@@ -16,13 +19,6 @@ using netlist::LogicSim;
 using netlist::NetId;
 
 namespace {
-
-struct Acquisition {
-  sca::TraceSet traces;
-  double mean_current = 0.0;
-  netlist::Design::Stats stats;
-  spice::FlowDiagnostics diagnostics;
-};
 
 /// Parses a bus port name of the form `<prefix>[<index>]` (e.g. "p[3]").
 /// Returns -1 when the name has a different prefix or shape; throws when it
@@ -49,154 +45,261 @@ int parse_bus_index(const std::string& name, char prefix, int width) {
   return idx;
 }
 
-Acquisition acquire(const cells::CellLibrary& library,
-                    const DpaFlowOptions& options) {
-  const synth::MapResult mapped = map_reduced_aes(library);
-  const netlist::Design& design = mapped.design;
-
-  power::TraceOptions topt;
-  topt.t_start = 0.4e-9;
-  topt.dt = options.dt;
-  topt.samples = options.samples;
-  topt.noise_sigma = options.noise_sigma;
-  topt.seed = options.seed;
-  Acquisition out;
-  const power::CurrentKernels kernels =
-      options.spice_kernels
-          ? power::kernels_from_spice({}, &out.diagnostics)
-          : power::default_kernels();
-  const power::PowerTracer tracer(design, library, kernels, topt);
-
-  // Port lookup: p[0..7], k[0..7] inputs (plus possibly const0).
-  std::vector<NetId> p_nets(8, netlist::kNoNet);
-  std::vector<NetId> k_nets(8, netlist::kNoNet);
-  NetId const_net = netlist::kNoNet;
-  for (std::size_t i = 0; i < design.inputs().size(); ++i) {
-    const std::string& name = design.port_name(i, true);
-    int idx = parse_bus_index(name, 'p', 8);
-    if (idx >= 0) {
-      p_nets[idx] = design.inputs()[i];
-      continue;
+/// The concrete streaming acquisition: synthesis, port lookup, and tracer
+/// construction happen once, then every next() call simulates one batch of
+/// traces into reused per-slot buffers.
+///
+/// Every trace is an independent simulation: its own LogicSim and its own
+/// RNG stream derived from (seed, global trace index), so the stream is
+/// bitwise identical at any thread count, any batch size, and to the old
+/// materialize-everything acquisition.  A trace whose simulation throws (a
+/// real solver failure or the test-only fault hook) is retried once, then
+/// skipped and recorded — per-trace outcomes live in index-addressed slots
+/// merged in index order, so the aggregate stays deterministic too.
+class ReducedAesSource final : public AcquisitionSource {
+ public:
+  ReducedAesSource(const cells::CellLibrary& library,
+                   const DpaFlowOptions& options)
+      : options_(options), library_(library), mapped_(map_reduced_aes(library)) {
+    if (options_.batch_size == 0) {
+      throw std::invalid_argument("dpa_flow: batch_size must be > 0");
     }
-    idx = parse_bus_index(name, 'k', 8);
-    if (idx >= 0) {
-      k_nets[idx] = design.inputs()[i];
-      continue;
+    power::TraceOptions topt;
+    topt.t_start = 0.4e-9;
+    topt.dt = options_.dt;
+    topt.samples = options_.samples;
+    topt.noise_sigma = options_.noise_sigma;
+    topt.seed = options_.seed;
+    const power::CurrentKernels kernels =
+        options_.spice_kernels
+            ? power::kernels_from_spice({}, &baseline_diagnostics_)
+            : power::default_kernels();
+    tracer_ = std::make_unique<power::PowerTracer>(mapped_.design, library_,
+                                                   kernels, topt);
+
+    // Port lookup: p[0..7], k[0..7] inputs (plus possibly const0).
+    const netlist::Design& design = mapped_.design;
+    p_nets_.assign(8, netlist::kNoNet);
+    k_nets_.assign(8, netlist::kNoNet);
+    for (std::size_t i = 0; i < design.inputs().size(); ++i) {
+      const std::string& name = design.port_name(i, true);
+      int idx = parse_bus_index(name, 'p', 8);
+      if (idx >= 0) {
+        p_nets_[idx] = design.inputs()[i];
+        continue;
+      }
+      idx = parse_bus_index(name, 'k', 8);
+      if (idx >= 0) {
+        k_nets_[idx] = design.inputs()[i];
+        continue;
+      }
+      const_net_ = design.inputs()[i];
     }
-    const_net = design.inputs()[i];
-  }
-  for (int b = 0; b < 8; ++b) {
-    if (p_nets[b] == netlist::kNoNet || k_nets[b] == netlist::kNoNet) {
-      throw std::runtime_error("dpa_flow: mapped design is missing input bit " +
-                               std::to_string(b) + " of p[] or k[]");
+    for (int b = 0; b < 8; ++b) {
+      if (p_nets_[b] == netlist::kNoNet || k_nets_[b] == netlist::kNoNet) {
+        throw std::runtime_error(
+            "dpa_flow: mapped design is missing input bit " +
+            std::to_string(b) + " of p[] or k[]");
+      }
     }
+
+    if (library_.power_gated() && options_.gate_per_operation) {
+      // Wake shortly before the operand edge, sleep after evaluation: this
+      // is the data-synchronous sleep toggling whose harmlessness Fig. 6
+      // shows.
+      schedule_.awake.push_back(
+          {0.2e-9, 0.4e-9 + options_.dt * options_.samples});
+    }
+
+    stats_ = design.stats(library_);
+    diagnostics_ = baseline_diagnostics_;
+
+    const std::size_t slots =
+        std::min(options_.batch_size, options_.num_traces);
+    plaintexts_.assign(slots, 0);
+    rows_.resize(slots);
+    skipped_.assign(slots, 0);
+    trace_diag_.resize(slots);
   }
 
-  power::SleepSchedule schedule;
-  if (library.power_gated() && options.gate_per_operation) {
-    // Wake shortly before the operand edge, sleep after evaluation: this is
-    // the data-synchronous sleep toggling whose harmlessness Fig. 6 shows.
-    schedule.awake.push_back({0.2e-9, 0.4e-9 + options.dt * options.samples});
+  std::size_t samples_per_trace() const override { return options_.samples; }
+  std::size_t size_hint() const override { return options_.num_traces; }
+
+  bool next(sca::TraceBatch& batch) override {
+    batch.clear();
+    while (batch.empty() && cursor_ < options_.num_traces) {
+      const std::size_t base = cursor_;
+      const std::size_t n =
+          std::min(options_.batch_size, options_.num_traces - base);
+      for (std::size_t i = 0; i < n; ++i) {
+        skipped_[i] = 0;
+        trace_diag_[i] = spice::FlowDiagnostics{};
+      }
+      util::parallel_for(n, [&](std::size_t i) { simulate_slot(base, i); });
+      // Ordered merge: accumulator order matches the serial loop exactly,
+      // and skipped traces are excluded identically at any thread count.
+      for (std::size_t i = 0; i < n; ++i) {
+        diagnostics_.merge(trace_diag_[i]);
+        if (skipped_[i]) continue;
+        current_stats_.add(util::mean(rows_[i]));
+        batch.add(plaintexts_[i], std::span<const double>(rows_[i]));
+      }
+      cursor_ = base + n;
+    }
+    return !batch.empty();
   }
 
-  out.stats = design.stats(library);
-  out.traces = sca::TraceSet(options.samples);
-  out.traces.reserve(options.num_traces);
+  void reset() override {
+    cursor_ = 0;
+    diagnostics_ = baseline_diagnostics_;
+    current_stats_ = util::RunningStats{};
+  }
 
-  // Every trace is an independent simulation: its own LogicSim and its own
-  // RNG stream derived from (seed, trace index), so the acquisition is
-  // bitwise identical at any thread count (and under the serial fallback).
-  // A trace whose simulation throws (a real solver failure or the test-only
-  // fault hook) is retried once, then skipped and recorded — per-trace
-  // outcomes live in index-addressed slots so the aggregate stays
-  // deterministic too.
-  std::vector<std::uint8_t> plaintexts(options.num_traces, 0);
-  std::vector<std::vector<double>> acquired(options.num_traces);
-  std::vector<char> skipped(options.num_traces, 0);
-  std::vector<spice::FlowDiagnostics> trace_diag(options.num_traces);
-  util::parallel_for(options.num_traces, [&](std::size_t t) {
-    trace_diag[t].record_attempt();
+  const spice::FlowDiagnostics& diagnostics() const override {
+    return diagnostics_;
+  }
+  double mean_current() const override { return current_stats_.mean(); }
+  const netlist::Design::Stats& design_stats() const override {
+    return stats_;
+  }
+
+ private:
+  void simulate_slot(std::size_t base, std::size_t i) {
+    const std::size_t t = base + i;
+    trace_diag_[i].record_attempt();
     const std::string stage = "trace:" + std::to_string(t);
     for (int attempt = 0; attempt < 2; ++attempt) {
       try {
-        if (options.acquisition_fault_hook) {
-          options.acquisition_fault_hook(t, attempt);
+        if (options_.acquisition_fault_hook) {
+          options_.acquisition_fault_hook(t, attempt);
         }
-        util::Rng rng = util::Rng::stream(options.seed, t);
+        util::Rng rng = util::Rng::stream(options_.seed, t);
         const auto plaintext =
-            options.fixed_plaintext >= 0
-                ? static_cast<std::uint8_t>(options.fixed_plaintext)
+            options_.fixed_plaintext >= 0
+                ? static_cast<std::uint8_t>(options_.fixed_plaintext)
                 : static_cast<std::uint8_t>(rng.bounded(256));
 
-        LogicSim sim(design, &library);
+        const netlist::Design& design = mapped_.design;
+        LogicSim sim(design, &library_);
         std::vector<std::pair<NetId, bool>> init;
         for (int b = 0; b < 8; ++b) {
-          init.emplace_back(k_nets[b], (options.key >> b) & 1);
-          init.emplace_back(p_nets[b], false);
+          init.emplace_back(k_nets_[b], (options_.key >> b) & 1);
+          init.emplace_back(p_nets_[b], false);
         }
-        if (const_net != netlist::kNoNet) init.emplace_back(const_net, false);
+        if (const_net_ != netlist::kNoNet) init.emplace_back(const_net_, false);
         sim.apply_and_settle(init);  // precharge state: p = 0, key applied
         sim.clear_events();
         sim.run_until(0.5e-9);
 
         std::vector<std::pair<NetId, bool>> stimulus;
         for (int b = 0; b < 8; ++b) {
-          stimulus.emplace_back(p_nets[b], (plaintext >> b) & 1);
+          stimulus.emplace_back(p_nets_[b], (plaintext >> b) & 1);
         }
         sim.apply_and_settle(stimulus);
 
-        plaintexts[t] = plaintext;
-        acquired[t] = tracer.trace(sim.events(), schedule, t);
-        if (attempt > 0) trace_diag[t].record_recovery(stage);
+        plaintexts_[i] = plaintext;
+        tracer_->trace_into(sim.events(), schedule_, t, rows_[i]);
+        if (attempt > 0) trace_diag_[i].record_recovery(stage);
         return;
       } catch (const std::exception& e) {
         if (attempt == 0) {
-          trace_diag[t].record_retry(stage, e.what());
+          trace_diag_[i].record_retry(stage, e.what());
         } else {
-          trace_diag[t].record_skip(stage, e.what());
-          skipped[t] = 1;
+          trace_diag_[i].record_skip(stage, e.what());
+          skipped_[i] = 1;
         }
       }
     }
-  });
-
-  // Ordered merge: accumulator order matches the serial loop exactly, and
-  // skipped traces are excluded identically at any thread count.
-  util::RunningStats current_stats;
-  for (std::size_t t = 0; t < options.num_traces; ++t) {
-    out.diagnostics.merge(trace_diag[t]);
-    if (skipped[t]) continue;
-    current_stats.add(util::mean(acquired[t]));
-    out.traces.add(plaintexts[t], std::move(acquired[t]));
   }
-  out.mean_current = current_stats.mean();
-  return out;
-}
+
+  DpaFlowOptions options_;
+  cells::CellLibrary library_;  ///< by value: the source owns its target
+  synth::MapResult mapped_;     ///< stable address: tracer_ references it
+  std::unique_ptr<power::PowerTracer> tracer_;
+  std::vector<NetId> p_nets_;
+  std::vector<NetId> k_nets_;
+  NetId const_net_ = netlist::kNoNet;
+  power::SleepSchedule schedule_;
+  netlist::Design::Stats stats_;
+  /// Diagnostics at construction (kernel extraction only): reset() target.
+  spice::FlowDiagnostics baseline_diagnostics_;
+  spice::FlowDiagnostics diagnostics_;
+  util::RunningStats current_stats_;
+  std::size_t cursor_ = 0;
+  // Per-slot state reused across batches (index-addressed for determinism).
+  std::vector<std::uint8_t> plaintexts_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<char> skipped_;
+  std::vector<spice::FlowDiagnostics> trace_diag_;
+};
 
 }  // namespace
 
+std::unique_ptr<AcquisitionSource> make_acquisition_source(
+    const cells::CellLibrary& library, const DpaFlowOptions& options) {
+  return std::make_unique<ReducedAesSource>(library, options);
+}
+
 sca::TraceSet acquire_reduced_aes_traces(const cells::CellLibrary& library,
                                          const DpaFlowOptions& options) {
-  return acquire(library, options).traces;
+  auto source = make_acquisition_source(library, options);
+  sca::TraceSet out(options.samples);
+  out.reserve(options.num_traces);
+  sca::TraceBatch batch;
+  while (source->next(batch)) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      out.add(batch.plaintexts[i], std::vector<double>(batch.traces[i].begin(),
+                                                       batch.traces[i].end()));
+    }
+  }
+  return out;
 }
 
 DpaFlowResult run_dpa_flow(const cells::CellLibrary& library,
                            const DpaFlowOptions& options) {
-  Acquisition acq = acquire(library, options);
+  auto source = make_acquisition_source(library, options);
   DpaFlowResult result;
-  result.stats = acq.stats;
-  result.mean_current = acq.mean_current;
-  result.diagnostics = std::move(acq.diagnostics);
-  result.cpa = sca::cpa_attack(acq.traces, sca::LeakageModel::kHammingWeight,
-                               options.keep_time_curves);
-  result.dpa = sca::dpa_attack(acq.traces);
+  result.stats = source->design_stats();
+
+  // One streamed pass feeds every consumer: the CPA engine (checkpointed by
+  // the MTD tracker when requested), the DPA engine, and -- only when the
+  // caller wants the matrix -- the materialized trace copy.
+  const auto model = sca::LeakageModel::kHammingWeight;
+  sca::MtdTracker mtd(model, options.samples, options.key, options.num_traces);
+  sca::CpaAccumulator cpa(model, options.samples);
+  sca::DpaAccumulator dpa(options.samples);
+  if (options.keep_traces) {
+    result.traces = sca::TraceSet(options.samples);
+    result.traces.reserve(options.num_traces);
+  }
+  sca::TraceBatch batch;
+  while (source->next(batch)) {
+    if (options.compute_mtd) {
+      mtd.add_batch(batch);
+    } else {
+      cpa.add_batch(batch);
+    }
+    dpa.add_batch(batch);
+    if (options.keep_traces) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        result.traces.add(batch.plaintexts[i],
+                          std::vector<double>(batch.traces[i].begin(),
+                                              batch.traces[i].end()));
+      }
+    }
+  }
+
+  result.mean_current = source->mean_current();
+  result.diagnostics = source->diagnostics();
+  if (options.compute_mtd) {
+    result.cpa = mtd.snapshot(options.keep_time_curves);
+    result.mtd = mtd.finish();
+  } else {
+    result.cpa = cpa.snapshot(options.keep_time_curves);
+  }
+  result.dpa = dpa.snapshot();
   result.key_rank = result.cpa.key_rank(options.key);
   result.margin = result.cpa.margin(options.key);
-  if (options.compute_mtd) {
-    result.mtd = sca::measurements_to_disclosure(
-        acq.traces, options.key, sca::LeakageModel::kHammingWeight);
-  }
-  result.traces = std::move(acq.traces);
   return result;
 }
 

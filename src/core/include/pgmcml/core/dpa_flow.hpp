@@ -12,11 +12,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "pgmcml/cells/library.hpp"
 #include "pgmcml/netlist/design.hpp"
 #include "pgmcml/power/tracer.hpp"
 #include "pgmcml/sca/attack.hpp"
+#include "pgmcml/sca/trace_source.hpp"
 #include "pgmcml/sca/traces.hpp"
 #include "pgmcml/spice/solve_error.hpp"
 
@@ -42,6 +44,15 @@ struct DpaFlowOptions {
   int fixed_plaintext = -1;
   /// Use SPICE-extracted current kernels instead of the analytic defaults.
   bool spice_kernels = false;
+  /// Traces simulated (and resident) per streaming batch: the acquisition
+  /// source holds one batch of row buffers, so this bounds the flow's trace
+  /// memory at batch_size * samples doubles regardless of num_traces.
+  std::size_t batch_size = sca::kDefaultTraceBatch;
+  /// Copy the streamed traces into DpaFlowResult::traces.  Disable for large
+  /// campaigns that only need the attack statistics: the flow then never
+  /// materializes the trace matrix (the attack results are bitwise identical
+  /// either way).
+  bool keep_traces = true;
   /// Test-only fault hook, called as (trace_index, attempt) before each
   /// trace is simulated; a throw from here fails that attempt.  The
   /// acquisition retries a failed trace once, then skips it and records the
@@ -64,11 +75,36 @@ struct DpaFlowResult {
   spice::FlowDiagnostics diagnostics;
 };
 
+/// Streaming acquisition of the reduced AES target: a TraceSource that
+/// simulates `options.batch_size` traces per next() call into reused row
+/// buffers, so an arbitrarily long campaign holds one batch in memory.
+/// Trace indices are global -- Rng streams, noise nonces, and the fault hook
+/// are keyed on the campaign index -- so the stream is bitwise identical to
+/// the materialized acquisition at any thread count and any batch size.
+/// Failed traces are retried once, then skipped (excluded from the batch)
+/// and recorded in diagnostics(), exactly as the batch flow did.
+class AcquisitionSource : public sca::TraceSource {
+ public:
+  /// Aggregated outcomes so far: kernel extraction plus every batch
+  /// produced.  reset() rewinds this to the post-construction state.
+  virtual const spice::FlowDiagnostics& diagnostics() const = 0;
+  /// Mean supply current over the traces produced so far [A].
+  virtual double mean_current() const = 0;
+  /// Synthesis stats of the mapped target.
+  virtual const netlist::Design::Stats& design_stats() const = 0;
+};
+
+std::unique_ptr<AcquisitionSource> make_acquisition_source(
+    const cells::CellLibrary& library, const DpaFlowOptions& options = {});
+
 /// Acquires traces of the reduced AES target and mounts the attacks.
+/// Single-pass: one streamed acquisition feeds the CPA/DPA accumulators and
+/// the checkpointed MTD tracker simultaneously.
 DpaFlowResult run_dpa_flow(const cells::CellLibrary& library,
                            const DpaFlowOptions& options = {});
 
-/// Acquisition only (for benches that do their own analysis).
+/// Acquisition only, materialized (for callers that reuse the trace matrix).
+/// Benches that stream should use make_acquisition_source directly.
 sca::TraceSet acquire_reduced_aes_traces(const cells::CellLibrary& library,
                                          const DpaFlowOptions& options = {});
 

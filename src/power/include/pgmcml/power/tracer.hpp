@@ -76,6 +76,13 @@ class PowerTracer {
                             const SleepSchedule& schedule = {},
                             std::uint64_t nonce = 0) const;
 
+  /// Same, but composes into `out`, recycling its heap buffer: streaming
+  /// acquisition reuses one buffer per batch slot instead of allocating a
+  /// fresh samples-sized vector for every trace.
+  void trace_into(const std::vector<netlist::SimEvent>& events,
+                  const SleepSchedule& schedule, std::uint64_t nonce,
+                  std::vector<double>& out) const;
+
   /// Total static current of the block when awake [A].
   double awake_current() const { return awake_current_; }
   /// Total gated-off leakage current [A].

@@ -76,10 +76,19 @@ PowerTracer::PowerTracer(const netlist::Design& design,
 std::vector<double> PowerTracer::trace(const std::vector<SimEvent>& events,
                                        const SleepSchedule& schedule,
                                        std::uint64_t nonce) const {
+  std::vector<double> out;
+  trace_into(events, schedule, nonce, out);
+  return out;
+}
+
+void PowerTracer::trace_into(const std::vector<SimEvent>& events,
+                             const SleepSchedule& schedule,
+                             std::uint64_t nonce,
+                             std::vector<double>& out) const {
   const double t0 = options_.t_start;
   const double t_end =
       t0 + options_.dt * static_cast<double>(options_.samples - 1);
-  GridAccumulator acc(t0, options_.dt, options_.samples);
+  GridAccumulator acc(t0, options_.dt, options_.samples, std::move(out));
   const LogicStyle style = library_.style();
 
   // --- static floors ---------------------------------------------------------
@@ -127,7 +136,7 @@ std::vector<double> PowerTracer::trace(const std::vector<SimEvent>& events,
     }
   }
 
-  std::vector<double> out = acc.take();
+  out = acc.take();
   if (options_.include_noise &&
       (options_.noise_sigma > 0.0 || options_.supply_noise_ratio > 0.0)) {
     // Fresh noise per trace, seeded from the event stream so repeated calls
@@ -152,7 +161,6 @@ std::vector<double> PowerTracer::trace(const std::vector<SimEvent>& events,
       out[i] += noise.gaussian(0.0, sigma);
     }
   }
-  return out;
 }
 
 double PowerTracer::average_power(const std::vector<double>& trace) const {

@@ -1,0 +1,459 @@
+#include "pgmcml/sca/accumulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pgmcml/aes/aes.hpp"
+#include "pgmcml/util/parallel.hpp"
+
+namespace pgmcml::sca {
+
+namespace {
+
+/// Column-block width shared by the streaming engines: fixed, so the
+/// per-column update sequence never depends on the worker count.
+constexpr std::size_t kColBlock = 64;
+
+void check_trace_width(std::size_t got, std::size_t want, const char* who) {
+  if (got != want) {
+    throw std::invalid_argument(std::string(who) +
+                                ": sample-count mismatch (ragged trace)");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CpaAccumulator
+
+CpaAccumulator::CpaAccumulator(LeakageModel model, std::size_t samples)
+    : model_(model),
+      m_(samples),
+      mean_s_(samples, 0.0),
+      m2_s_(samples, 0.0),
+      comoment_(samples, std::array<double, 256>{}) {}
+
+void CpaAccumulator::add(std::uint8_t plaintext,
+                         std::span<const double> trace) {
+  TraceBatch one;
+  one.add(plaintext, trace);
+  add_batch(one);
+}
+
+void CpaAccumulator::add_batch(const TraceBatch& batch) {
+  const std::size_t nb = batch.size();
+  if (nb == 0) return;
+  for (const auto& t : batch.traces) {
+    check_trace_width(t.size(), m_, "CpaAccumulator");
+  }
+
+  // h-side Welford pass (serial: 256 slots shared by every sample column).
+  // Records dh_old_[i][k] = h - mean_h_before, the left factor of the
+  // co-moment update below.
+  if (dh_old_.size() < nb) dh_old_.resize(nb);
+  for (std::size_t i = 0; i < nb; ++i) {
+    const double cnt = static_cast<double>(n_ + i + 1);
+    auto& dh = dh_old_[i];
+    for (int k = 0; k < 256; ++k) {
+      const double h = predict_leakage(model_, batch.plaintexts[i],
+                                       static_cast<std::uint8_t>(k));
+      const double d = h - mean_h_[k];
+      dh[k] = d;
+      mean_h_[k] += d / cnt;
+      m2_h_[k] += d * (h - mean_h_[k]);
+    }
+  }
+
+  // s-side Welford + co-moment, parallel over fixed column blocks.  Each
+  // column is owned by exactly one task and walks the batch in trace order,
+  // so the arithmetic per column is a fixed sequence at any thread count and
+  // for any batching of the same stream.
+  const std::size_t col_blocks = (m_ + kColBlock - 1) / kColBlock;
+  util::parallel_for(
+      col_blocks,
+      [&](std::size_t blk) {
+        const std::size_t j_lo = blk * kColBlock;
+        const std::size_t j_hi = std::min(m_, j_lo + kColBlock);
+        for (std::size_t j = j_lo; j < j_hi; ++j) {
+          double mean = mean_s_[j];
+          double m2 = m2_s_[j];
+          auto& c = comoment_[j];
+          for (std::size_t i = 0; i < nb; ++i) {
+            const double cnt = static_cast<double>(n_ + i + 1);
+            const double s = batch.traces[i][j];
+            const double ds = s - mean;
+            mean += ds / cnt;
+            const double ds_new = s - mean;
+            m2 += ds * ds_new;
+            if (ds_new == 0.0) continue;  // c[k] += x * 0.0 is a no-op
+            const auto& dh = dh_old_[i];
+            for (int k = 0; k < 256; ++k) c[k] += dh[k] * ds_new;
+          }
+          mean_s_[j] = mean;
+          m2_s_[j] = m2;
+        }
+      },
+      /*grain=*/1);
+
+  n_ += nb;
+}
+
+void CpaAccumulator::merge(const CpaAccumulator& other) {
+  if (other.model_ != model_ || other.m_ != m_) {
+    throw std::invalid_argument(
+        "CpaAccumulator::merge: model/sample-count mismatch");
+  }
+  if (other.n_ == 0) return;
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  const double w = na * nb / n;  // Chan's cross-term weight
+
+  std::array<double, 256> dh{};
+  for (int k = 0; k < 256; ++k) dh[k] = other.mean_h_[k] - mean_h_[k];
+
+  for (std::size_t j = 0; j < m_; ++j) {
+    const double ds = other.mean_s_[j] - mean_s_[j];
+    auto& c = comoment_[j];
+    const auto& oc = other.comoment_[j];
+    for (int k = 0; k < 256; ++k) c[k] += oc[k] + dh[k] * ds * w;
+    m2_s_[j] += other.m2_s_[j] + ds * ds * w;
+    mean_s_[j] += ds * nb / n;
+  }
+  for (int k = 0; k < 256; ++k) {
+    m2_h_[k] += other.m2_h_[k] + dh[k] * dh[k] * w;
+    mean_h_[k] += dh[k] * nb / n;
+  }
+  n_ += other.n_;
+}
+
+CpaResult CpaAccumulator::snapshot(bool keep_time_curves) const {
+  CpaResult result;
+  if (n_ < 2 || m_ == 0) return result;
+  if (keep_time_curves) result.correlation_vs_time.assign(m_, {});
+  for (std::size_t j = 0; j < m_; ++j) {
+    const auto& c = comoment_[j];
+    for (int k = 0; k < 256; ++k) {
+      const double denom = std::sqrt(m2_h_[k] * m2_s_[j]);
+      const double corr = denom > 0.0 ? c[k] / denom : 0.0;
+      if (keep_time_curves) result.correlation_vs_time[j][k] = corr;
+      result.peak_correlation[k] =
+          std::max(result.peak_correlation[k], std::fabs(corr));
+    }
+  }
+  result.best_guess = static_cast<int>(
+      std::max_element(result.peak_correlation.begin(),
+                       result.peak_correlation.end()) -
+      result.peak_correlation.begin());
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// DpaAccumulator
+
+DpaAccumulator::DpaAccumulator(std::size_t samples)
+    : m_(samples), sum1_(256 * samples, 0.0), sum0_(256 * samples, 0.0) {}
+
+void DpaAccumulator::add(std::uint8_t plaintext,
+                         std::span<const double> trace) {
+  check_trace_width(trace.size(), m_, "DpaAccumulator");
+  for (int k = 0; k < 256; ++k) {
+    const bool bit =
+        (aes::reduced_target(plaintext, static_cast<std::uint8_t>(k)) & 1) !=
+        0;
+    double* row = (bit ? sum1_ : sum0_).data() + static_cast<std::size_t>(k) * m_;
+    if (bit) ++n1_[k];
+    for (std::size_t j = 0; j < m_; ++j) row[j] += trace[j];
+  }
+  ++n_;
+}
+
+void DpaAccumulator::add_batch(const TraceBatch& batch) {
+  const std::size_t nb = batch.size();
+  if (nb == 0) return;
+  for (const auto& t : batch.traces) {
+    check_trace_width(t.size(), m_, "DpaAccumulator");
+  }
+  // Each guess's partition sums are touched by exactly one task, in trace
+  // order: bitwise identical to serial add() at any thread count.
+  util::parallel_for(256, [&](std::size_t kk) {
+    const int k = static_cast<int>(kk);
+    double* row1 = sum1_.data() + kk * m_;
+    double* row0 = sum0_.data() + kk * m_;
+    for (std::size_t i = 0; i < nb; ++i) {
+      const bool bit = (aes::reduced_target(batch.plaintexts[i],
+                                            static_cast<std::uint8_t>(k)) &
+                        1) != 0;
+      const auto& t = batch.traces[i];
+      double* row = bit ? row1 : row0;
+      if (bit) ++n1_[kk];
+      for (std::size_t j = 0; j < m_; ++j) row[j] += t[j];
+    }
+  });
+  n_ += nb;
+}
+
+void DpaAccumulator::merge(const DpaAccumulator& other) {
+  if (other.m_ != m_) {
+    throw std::invalid_argument("DpaAccumulator::merge: sample-count mismatch");
+  }
+  for (std::size_t i = 0; i < sum1_.size(); ++i) {
+    sum1_[i] += other.sum1_[i];
+    sum0_[i] += other.sum0_[i];
+  }
+  for (int k = 0; k < 256; ++k) n1_[k] += other.n1_[k];
+  n_ += other.n_;
+}
+
+DpaResult DpaAccumulator::snapshot() const {
+  DpaResult result;
+  if (n_ < 2 || m_ == 0) return result;
+  for (int k = 0; k < 256; ++k) {
+    const std::size_t n1 = n1_[k];
+    const std::size_t n0 = n_ - n1;
+    if (n1 == 0 || n0 == 0) continue;
+    const double* row1 = sum1_.data() + static_cast<std::size_t>(k) * m_;
+    const double* row0 = sum0_.data() + static_cast<std::size_t>(k) * m_;
+    double peak = 0.0;
+    for (std::size_t j = 0; j < m_; ++j) {
+      const double diff = row1[j] / static_cast<double>(n1) -
+                          row0[j] / static_cast<double>(n0);
+      peak = std::max(peak, std::fabs(diff));
+    }
+    result.peak_difference[k] = peak;
+  }
+  result.best_guess = static_cast<int>(
+      std::max_element(result.peak_difference.begin(),
+                       result.peak_difference.end()) -
+      result.peak_difference.begin());
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// TvlaAccumulator
+
+TvlaAccumulator::TvlaAccumulator(std::size_t samples)
+    : m_(samples),
+      mean_a_(samples, 0.0),
+      m2_a_(samples, 0.0),
+      mean_b_(samples, 0.0),
+      m2_b_(samples, 0.0) {}
+
+void TvlaAccumulator::add(bool is_fixed, std::span<const double> trace) {
+  check_trace_width(trace.size(), m_, "TvlaAccumulator");
+  std::size_t& n = is_fixed ? na_ : nb_;
+  std::vector<double>& mean = is_fixed ? mean_a_ : mean_b_;
+  std::vector<double>& m2 = is_fixed ? m2_a_ : m2_b_;
+  const double cnt = static_cast<double>(++n);
+  for (std::size_t j = 0; j < m_; ++j) {
+    const double d = trace[j] - mean[j];
+    mean[j] += d / cnt;
+    m2[j] += d * (trace[j] - mean[j]);
+  }
+}
+
+void TvlaAccumulator::add_batch(const TraceBatch& batch,
+                                std::uint8_t fixed_plaintext) {
+  const std::size_t nb = batch.size();
+  if (nb == 0) return;
+  for (const auto& t : batch.traces) {
+    check_trace_width(t.size(), m_, "TvlaAccumulator");
+  }
+  if (is_fixed_scratch_.size() < nb) is_fixed_scratch_.resize(nb);
+  for (std::size_t i = 0; i < nb; ++i) {
+    is_fixed_scratch_[i] = batch.plaintexts[i] == fixed_plaintext ? 1 : 0;
+  }
+
+  const std::size_t col_blocks = (m_ + kColBlock - 1) / kColBlock;
+  util::parallel_for(
+      col_blocks,
+      [&](std::size_t blk) {
+        const std::size_t j_lo = blk * kColBlock;
+        const std::size_t j_hi = std::min(m_, j_lo + kColBlock);
+        for (std::size_t j = j_lo; j < j_hi; ++j) {
+          double mean_a = mean_a_[j], m2_a = m2_a_[j];
+          double mean_b = mean_b_[j], m2_b = m2_b_[j];
+          std::size_t na = na_, nbr = nb_;
+          for (std::size_t i = 0; i < nb; ++i) {
+            const double s = batch.traces[i][j];
+            if (is_fixed_scratch_[i]) {
+              const double cnt = static_cast<double>(++na);
+              const double d = s - mean_a;
+              mean_a += d / cnt;
+              m2_a += d * (s - mean_a);
+            } else {
+              const double cnt = static_cast<double>(++nbr);
+              const double d = s - mean_b;
+              mean_b += d / cnt;
+              m2_b += d * (s - mean_b);
+            }
+          }
+          mean_a_[j] = mean_a;
+          m2_a_[j] = m2_a;
+          mean_b_[j] = mean_b;
+          m2_b_[j] = m2_b;
+        }
+      },
+      /*grain=*/1);
+
+  for (std::size_t i = 0; i < nb; ++i) {
+    if (is_fixed_scratch_[i]) {
+      ++na_;
+    } else {
+      ++nb_;
+    }
+  }
+}
+
+void TvlaAccumulator::merge(const TvlaAccumulator& other) {
+  if (other.m_ != m_) {
+    throw std::invalid_argument(
+        "TvlaAccumulator::merge: sample-count mismatch");
+  }
+  const auto merge_class = [this](std::size_t& n, std::vector<double>& mean,
+                                  std::vector<double>& m2, std::size_t on,
+                                  const std::vector<double>& omean,
+                                  const std::vector<double>& om2) {
+    if (on == 0) return;
+    const double na = static_cast<double>(n);
+    const double nb = static_cast<double>(on);
+    const double w = na * nb / (na + nb);
+    for (std::size_t j = 0; j < m_; ++j) {
+      const double d = omean[j] - mean[j];
+      m2[j] += om2[j] + d * d * w;
+      mean[j] += d * nb / (na + nb);
+    }
+    n += on;
+  };
+  merge_class(na_, mean_a_, m2_a_, other.na_, other.mean_a_, other.m2_a_);
+  merge_class(nb_, mean_b_, m2_b_, other.nb_, other.mean_b_, other.m2_b_);
+}
+
+TvlaResult TvlaAccumulator::snapshot() const {
+  TvlaResult result;
+  result.fixed_traces = na_;
+  result.random_traces = nb_;
+  if (na_ < 2 || nb_ < 2) return result;
+  result.t_statistic.assign(m_, 0.0);
+  const double na = static_cast<double>(na_);
+  const double nb = static_cast<double>(nb_);
+  for (std::size_t j = 0; j < m_; ++j) {
+    const double var_a = m2_a_[j] / (na - 1.0);
+    const double var_b = m2_b_[j] / (nb - 1.0);
+    const double denom = std::sqrt(var_a / na + var_b / nb);
+    const double t = denom > 0.0 ? (mean_a_[j] - mean_b_[j]) / denom : 0.0;
+    result.t_statistic[j] = t;
+    result.max_abs_t = std::max(result.max_abs_t, std::fabs(t));
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// MtdTracker
+
+MtdTracker::MtdTracker(LeakageModel model, std::size_t samples,
+                       std::uint8_t true_key, std::size_t expected_traces,
+                       std::size_t grid_points)
+    : acc_(model, samples), true_key_(true_key) {
+  // Same grid as the prefix-rerun implementation; an empty grid (campaign
+  // too small, degenerate grid) makes finish() report "never disclosed".
+  if (expected_traces >= 4 && grid_points >= 2) {
+    for (std::size_t g = 1; g <= grid_points; ++g) {
+      grid_.push_back(
+          std::max<std::size_t>(4, g * expected_traces / grid_points));
+    }
+    success_.assign(grid_.size(), 0);
+  }
+}
+
+void MtdTracker::add(std::uint8_t plaintext, std::span<const double> trace) {
+  TraceBatch one;
+  one.add(plaintext, trace);
+  add_batch(one);
+}
+
+void MtdTracker::checkpoint() {
+  const CpaResult r = acc_.snapshot();
+  success_[next_grid_] = r.key_rank(true_key_) == 0 ? 1 : 0;
+  ++next_grid_;
+}
+
+void MtdTracker::add_batch(const TraceBatch& batch) {
+  std::size_t pos = 0;
+  while (pos < batch.size()) {
+    std::size_t take = batch.size() - pos;
+    if (next_grid_ < grid_.size() && acc_.num_traces() < grid_[next_grid_]) {
+      take = std::min(take, grid_[next_grid_] - acc_.num_traces());
+    }
+    if (pos == 0 && take == batch.size()) {
+      acc_.add_batch(batch);
+    } else {
+      scratch_.clear();
+      for (std::size_t i = pos; i < pos + take; ++i) {
+        scratch_.add(batch.plaintexts[i], batch.traces[i]);
+      }
+      acc_.add_batch(scratch_);
+    }
+    pos += take;
+    while (next_grid_ < grid_.size() &&
+           grid_[next_grid_] <= acc_.num_traces()) {
+      checkpoint();
+    }
+  }
+}
+
+std::size_t MtdTracker::finish() {
+  // Grid points the stream never reached (skipped acquisitions shortened the
+  // campaign): judge them on the final state, i.e. "the largest prefix we
+  // actually have".
+  while (next_grid_ < grid_.size()) checkpoint();
+  for (std::size_t gi = 0; gi < grid_.size(); ++gi) {
+    bool stable = true;
+    for (std::size_t gj = gi; gj < grid_.size(); ++gj) {
+      stable = stable && success_[gj] != 0;
+    }
+    if (stable) return grid_[gi];
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+
+CpaAccumulator cpa_accumulate_sharded(const TraceSet& traces,
+                                      LeakageModel model,
+                                      std::size_t shard_size) {
+  if (shard_size == 0) {
+    throw std::invalid_argument("cpa_accumulate_sharded: shard_size == 0");
+  }
+  const std::size_t n = traces.num_traces();
+  const std::size_t m = traces.samples_per_trace();
+  const std::size_t shards = (n + shard_size - 1) / shard_size;
+  if (shards <= 1) {
+    CpaAccumulator acc(model, m);
+    TraceBatch all;
+    for (std::size_t i = 0; i < n; ++i) all.add(traces.plaintext(i), traces.trace(i));
+    acc.add_batch(all);
+    return acc;
+  }
+  std::vector<std::unique_ptr<CpaAccumulator>> parts(shards);
+  util::parallel_for(
+      shards,
+      [&](std::size_t s) {
+        auto acc = std::make_unique<CpaAccumulator>(model, m);
+        TraceBatch batch;
+        const std::size_t lo = s * shard_size;
+        const std::size_t hi = std::min(n, lo + shard_size);
+        for (std::size_t i = lo; i < hi; ++i) {
+          batch.add(traces.plaintext(i), traces.trace(i));
+        }
+        acc->add_batch(batch);
+        parts[s] = std::move(acc);
+      },
+      /*grain=*/1);
+  // Fixed ascending merge order: the result is invariant to thread count.
+  for (std::size_t s = 1; s < shards; ++s) parts[0]->merge(*parts[s]);
+  return std::move(*parts[0]);
+}
+
+}  // namespace pgmcml::sca

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "pgmcml/aes/aes.hpp"
-#include "pgmcml/util/parallel.hpp"
+#include "pgmcml/sca/accumulator.hpp"
 #include "pgmcml/util/stats.hpp"
 
 namespace pgmcml::sca {
@@ -40,89 +41,6 @@ double CpaResult::margin(std::uint8_t true_key) const {
   return peak_correlation[true_key] - best_wrong;
 }
 
-CpaResult cpa_attack(const TraceSet& traces, LeakageModel model,
-                     bool keep_time_curves) {
-  CpaResult result;
-  const std::size_t n = traces.num_traces();
-  const std::size_t m = traces.samples_per_trace();
-  if (n < 2 || m == 0) return result;
-
-  // Precompute per-guess predictions (and their means / variances).
-  // corr(guess, t) = cov(h_g, s_t) / (sigma_h * sigma_s).
-  std::vector<std::array<double, 256>> h(n);
-  util::parallel_for(n, [&](std::size_t i) {
-    for (int k = 0; k < 256; ++k) {
-      h[i][k] = predict_leakage(model, traces.plaintext(i),
-                                static_cast<std::uint8_t>(k));
-    }
-  });
-  std::array<double, 256> h_mean{};
-  for (std::size_t i = 0; i < n; ++i) {
-    for (int k = 0; k < 256; ++k) h_mean[k] += h[i][k];
-  }
-  for (double& v : h_mean) v /= static_cast<double>(n);
-  std::array<double, 256> h_var{};
-  for (std::size_t i = 0; i < n; ++i) {
-    for (int k = 0; k < 256; ++k) {
-      const double d = h[i][k] - h_mean[k];
-      h_var[k] += d * d;
-    }
-  }
-  // Center the predictions in place: the covariance pass below uses them for
-  // every sample column.
-  for (std::size_t i = 0; i < n; ++i) {
-    for (int k = 0; k < 256; ++k) h[i][k] -= h_mean[k];
-  }
-
-  const std::vector<double> s_mean = traces.mean_trace();
-
-  if (keep_time_curves) {
-    result.correlation_vs_time.assign(m, {});
-  }
-
-  // Column statistics and covariance accumulation, parallel over fixed
-  // blocks of sample columns.  Each column's accumulators are written by
-  // exactly one task, and the per-column trace order (i ascending) matches
-  // the serial loop, so the sums are bitwise identical at any thread count.
-  std::vector<double> s_var(m, 0.0);
-  std::vector<std::array<double, 256>> cov(m, std::array<double, 256>{});
-  constexpr std::size_t kColBlock = 64;
-  const std::size_t col_blocks = (m + kColBlock - 1) / kColBlock;
-  util::parallel_for(
-      col_blocks,
-      [&](std::size_t blk) {
-        const std::size_t j_lo = blk * kColBlock;
-        const std::size_t j_hi = std::min(m, j_lo + kColBlock);
-        for (std::size_t i = 0; i < n; ++i) {
-          const auto& t = traces.trace(i);
-          const auto& hc = h[i];
-          for (std::size_t j = j_lo; j < j_hi; ++j) {
-            const double sc = t[j] - s_mean[j];
-            s_var[j] += sc * sc;
-            if (sc == 0.0) continue;
-            auto& c = cov[j];
-            for (int k = 0; k < 256; ++k) c[k] += hc[k] * sc;
-          }
-        }
-      },
-      /*grain=*/1);
-
-  for (std::size_t j = 0; j < m; ++j) {
-    for (int k = 0; k < 256; ++k) {
-      const double denom = std::sqrt(h_var[k] * s_var[j]);
-      const double corr = denom > 0.0 ? cov[j][k] / denom : 0.0;
-      if (keep_time_curves) result.correlation_vs_time[j][k] = corr;
-      result.peak_correlation[k] =
-          std::max(result.peak_correlation[k], std::fabs(corr));
-    }
-  }
-  result.best_guess = static_cast<int>(
-      std::max_element(result.peak_correlation.begin(),
-                       result.peak_correlation.end()) -
-      result.peak_correlation.begin());
-  return result;
-}
-
 int DpaResult::key_rank(std::uint8_t true_key) const {
   int rank = 0;
   const double mine = peak_difference[true_key];
@@ -132,97 +50,104 @@ int DpaResult::key_rank(std::uint8_t true_key) const {
   return rank;
 }
 
-DpaResult dpa_attack(const TraceSet& traces) {
-  DpaResult result;
-  const std::size_t n = traces.num_traces();
-  const std::size_t m = traces.samples_per_trace();
-  if (n < 2 || m == 0) return result;
+CpaResult cpa_attack(TraceSource& source, LeakageModel model,
+                     bool keep_time_curves) {
+  CpaAccumulator acc(model, source.samples_per_trace());
+  TraceBatch batch;
+  while (source.next(batch)) acc.add_batch(batch);
+  return acc.snapshot(keep_time_curves);
+}
 
-  // Each key guess partitions the traces independently: parallel over the
-  // 256 guesses, each writing only its own peak_difference slot.
-  util::parallel_for(256, [&](std::size_t kk) {
-    const int k = static_cast<int>(kk);
-    std::vector<double> sum1(m, 0.0);
-    std::vector<double> sum0(m, 0.0);
-    std::size_t n1 = 0;
-    std::size_t n0 = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const bool bit = (aes::reduced_target(traces.plaintext(i),
-                                            static_cast<std::uint8_t>(k)) &
-                        1) != 0;
-      const auto& t = traces.trace(i);
-      if (bit) {
-        ++n1;
-        for (std::size_t j = 0; j < m; ++j) sum1[j] += t[j];
-      } else {
-        ++n0;
-        for (std::size_t j = 0; j < m; ++j) sum0[j] += t[j];
+CpaResult cpa_attack(const TraceSet& traces, LeakageModel model,
+                     bool keep_time_curves) {
+  TraceSetSource source(traces);
+  return cpa_attack(source, model, keep_time_curves);
+}
+
+DpaResult dpa_attack(TraceSource& source) {
+  DpaAccumulator acc(source.samples_per_trace());
+  TraceBatch batch;
+  while (source.next(batch)) acc.add_batch(batch);
+  return acc.snapshot();
+}
+
+DpaResult dpa_attack(const TraceSet& traces) {
+  TraceSetSource source(traces);
+  return dpa_attack(source);
+}
+
+CpaResult second_order_cpa(TraceSource& source, LeakageModel model) {
+  const std::size_t m = source.samples_per_trace();
+
+  // Pass 1: Welford mean trace.
+  std::vector<double> mean(m, 0.0);
+  std::size_t n = 0;
+  TraceBatch batch;
+  while (source.next(batch)) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto& t = batch.traces[i];
+      if (t.size() != m) {
+        throw std::invalid_argument("second_order_cpa: ragged trace");
+      }
+      const double cnt = static_cast<double>(++n);
+      for (std::size_t j = 0; j < m; ++j) {
+        mean[j] += (t[j] - mean[j]) / cnt;
       }
     }
-    if (n1 == 0 || n0 == 0) return;
-    double peak = 0.0;
-    for (std::size_t j = 0; j < m; ++j) {
-      const double diff = sum1[j] / static_cast<double>(n1) -
-                          sum0[j] / static_cast<double>(n0);
-      peak = std::max(peak, std::fabs(diff));
+  }
+
+  // Pass 2: center, square per sample, and stream into the CPA engine.  The
+  // squared batch is the only per-pass storage -- no squared TraceSet copy.
+  source.reset();
+  CpaAccumulator acc(model, m);
+  std::vector<std::vector<double>> squared;
+  TraceBatch sq_batch;
+  while (source.next(batch)) {
+    if (squared.size() < batch.size()) squared.resize(batch.size());
+    sq_batch.clear();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto& t = batch.traces[i];
+      squared[i].resize(m);
+      for (std::size_t j = 0; j < m; ++j) {
+        const double c = t[j] - mean[j];
+        squared[i][j] = c * c;
+      }
+      sq_batch.add(batch.plaintexts[i], squared[i]);
     }
-    result.peak_difference[k] = peak;
-  });
-  result.best_guess = static_cast<int>(
-      std::max_element(result.peak_difference.begin(),
-                       result.peak_difference.end()) -
-      result.peak_difference.begin());
-  return result;
+    acc.add_batch(sq_batch);
+  }
+  return acc.snapshot();
 }
 
 CpaResult second_order_cpa(const TraceSet& traces, LeakageModel model) {
-  // Preprocess: subtract the population mean trace, square per sample.
-  const std::vector<double> mean = traces.mean_trace();
-  TraceSet squared(traces.samples_per_trace());
-  for (std::size_t i = 0; i < traces.num_traces(); ++i) {
-    std::vector<double> t = traces.trace(i);
-    for (std::size_t j = 0; j < t.size(); ++j) {
-      const double c = t[j] - mean[j];
-      t[j] = c * c;
-    }
-    squared.add(traces.plaintext(i), std::move(t));
+  TraceSetSource source(traces);
+  return second_order_cpa(source, model);
+}
+
+std::size_t measurements_to_disclosure(TraceSource& source,
+                                       std::uint8_t true_key,
+                                       LeakageModel model,
+                                       std::size_t grid_points) {
+  const std::size_t n = source.size_hint();
+  if (n == 0) {
+    throw std::invalid_argument(
+        "measurements_to_disclosure: source has no size hint to build the "
+        "checkpoint grid from");
   }
-  return cpa_attack(squared, model);
+  MtdTracker tracker(model, source.samples_per_trace(), true_key, n,
+                     grid_points);
+  TraceBatch batch;
+  while (source.next(batch)) tracker.add_batch(batch);
+  return tracker.finish();
 }
 
 std::size_t measurements_to_disclosure(const TraceSet& traces,
                                        std::uint8_t true_key,
                                        LeakageModel model,
                                        std::size_t grid_points) {
-  const std::size_t n = traces.num_traces();
-  if (n < 4 || grid_points < 2) return 0;
-  // Evaluate the rank on a grid of prefix sizes; MTD is the smallest grid
-  // point from which the rank stays 0 through the full set.
-  std::vector<std::size_t> grid;
-  for (std::size_t g = 1; g <= grid_points; ++g) {
-    grid.push_back(std::max<std::size_t>(4, g * n / grid_points));
-  }
-  // Each prefix attack is independent; vector<bool> packs bits, so give
-  // every task its own byte-sized slot and copy over afterwards.
-  std::vector<std::uint8_t> ok(grid.size(), 0);
-  util::parallel_for(
-      grid.size(),
-      [&](std::size_t gi) {
-        const CpaResult r = cpa_attack(traces.prefix(grid[gi]), model);
-        ok[gi] = (r.key_rank(true_key) == 0) ? 1 : 0;
-      },
-      /*grain=*/1);
-  std::vector<bool> success(grid.size(), false);
-  for (std::size_t gi = 0; gi < grid.size(); ++gi) success[gi] = ok[gi] != 0;
-  // Find the earliest stable success.
-  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
-    bool stable = true;
-    for (std::size_t gj = gi; gj < grid.size(); ++gj) {
-      stable = stable && success[gj];
-    }
-    if (stable) return grid[gi];
-  }
-  return 0;
+  if (traces.num_traces() < 4 || grid_points < 2) return 0;
+  TraceSetSource source(traces);
+  return measurements_to_disclosure(source, true_key, model, grid_points);
 }
 
 }  // namespace pgmcml::sca

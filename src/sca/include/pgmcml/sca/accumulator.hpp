@@ -1,0 +1,189 @@
+// Single-pass, mergeable attack accumulators: the streaming analysis engine
+// behind cpa_attack / dpa_attack / tvla_* and the checkpointed
+// measurements-to-disclosure scan.
+//
+// Each accumulator holds Welford/co-moment running sums per (guess, sample)
+// -- or per (class, sample) for TVLA -- so a campaign streams through once,
+// one batch at a time, in bounded memory.  A snapshot can be taken after any
+// number of traces, which turns MTD from O(grid) full CPA reruns over
+// prefix copies into checkpoints of one accumulator stream.
+//
+// Determinism contract (the same contract as util::parallel_for):
+//   * add_batch() parallelizes over fixed sample-column blocks (CPA/TVLA)
+//     or key guesses (DPA).  Each column/guess is updated by exactly one
+//     task in trace order, so the arithmetic sequence per accumulator slot
+//     is identical at any thread count AND for any batching of the same
+//     trace stream: add_batch of n traces is bitwise identical to n calls
+//     of add(), and to any split of the stream into smaller batches.  This
+//     is why MTD checkpoints (which split batches at grid boundaries) do
+//     not perturb the final CPA result by even one ulp.
+//   * merge() combines two accumulators with Chan's parallel co-moment
+//     update.  Merging in a fixed order over fixed-size shards (see
+//     cpa_accumulate_sharded) is thread-count invariant, but is a different
+//     floating-point evaluation than one-pass streaming: the two agree to
+//     ~1e-12 on the statistics, not bitwise.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "pgmcml/sca/attack.hpp"
+#include "pgmcml/sca/trace_source.hpp"
+#include "pgmcml/sca/tvla.hpp"
+
+namespace pgmcml::sca {
+
+/// Streaming CPA: Pearson correlation between a leakage model of the 256 key
+/// guesses and every sample column, maintained as online co-moments.
+/// Memory: O(samples * 256) doubles, independent of the trace count.
+class CpaAccumulator {
+ public:
+  CpaAccumulator(LeakageModel model, std::size_t samples);
+
+  LeakageModel model() const { return model_; }
+  std::size_t samples_per_trace() const { return m_; }
+  std::size_t num_traces() const { return n_; }
+
+  /// Folds one trace into the running sums.
+  void add(std::uint8_t plaintext, std::span<const double> trace);
+
+  /// Folds a batch, parallel over fixed 64-column blocks.  Bitwise identical
+  /// to adding each trace with add(), at any thread count.
+  void add_batch(const TraceBatch& batch);
+
+  /// Chan-merge of a disjoint accumulator over the same model/samples.
+  void merge(const CpaAccumulator& other);
+
+  /// Correlation snapshot after any number of traces (best_guess = -1 while
+  /// fewer than 2 traces have been seen, matching the batch attack).
+  CpaResult snapshot(bool keep_time_curves = false) const;
+
+ private:
+  LeakageModel model_;
+  std::size_t m_;
+  std::size_t n_ = 0;
+  // Welford state for the per-guess predictions h (plaintext-only, shared by
+  // all sample columns) ...
+  std::array<double, 256> mean_h_{};
+  std::array<double, 256> m2_h_{};
+  // ... and per sample column for the measurements s ...
+  std::vector<double> mean_s_;
+  std::vector<double> m2_s_;
+  // ... plus the co-moment sum_i (h_i - mean_h)(s_i - mean_s) per
+  // (sample, guess).
+  std::vector<std::array<double, 256>> comoment_;
+  // Scratch reused across batches: dh_old_[i][k] = h_i[k] - mean_h_before_i.
+  std::vector<std::array<double, 256>> dh_old_;
+};
+
+/// Streaming difference-of-means DPA (partition on the predicted S-box bit
+/// for each guess).  Memory: O(256 * samples) doubles.
+class DpaAccumulator {
+ public:
+  explicit DpaAccumulator(std::size_t samples);
+
+  std::size_t samples_per_trace() const { return m_; }
+  std::size_t num_traces() const { return n_; }
+
+  void add(std::uint8_t plaintext, std::span<const double> trace);
+  /// Parallel over the 256 guesses; bitwise identical to serial add().
+  void add_batch(const TraceBatch& batch);
+  /// Exact partition-sum merge (element-wise addition).
+  void merge(const DpaAccumulator& other);
+  DpaResult snapshot() const;
+
+ private:
+  std::size_t m_;
+  std::size_t n_ = 0;
+  std::array<std::size_t, 256> n1_{};
+  std::vector<double> sum1_;  ///< 256 rows of m samples (bit = 1 partition)
+  std::vector<double> sum0_;  ///< 256 rows of m samples (bit = 0 partition)
+};
+
+/// Streaming fixed-vs-random Welch t-test: per-class Welford mean/variance
+/// per sample column.  Memory: O(2 * samples) doubles.
+class TvlaAccumulator {
+ public:
+  explicit TvlaAccumulator(std::size_t samples);
+
+  std::size_t samples_per_trace() const { return m_; }
+  std::size_t fixed_traces() const { return na_; }
+  std::size_t random_traces() const { return nb_; }
+
+  /// Folds one trace into the fixed (is_fixed) or random class.  Throws
+  /// std::invalid_argument on a sample-count mismatch (ragged input).
+  void add(bool is_fixed, std::span<const double> trace);
+
+  /// Folds a batch, classifying traces by plaintext == fixed_plaintext.
+  /// Parallel over fixed column blocks; bitwise identical to serial add().
+  void add_batch(const TraceBatch& batch, std::uint8_t fixed_plaintext);
+
+  /// Chan-merge of a disjoint accumulator (per class, per sample).
+  void merge(const TvlaAccumulator& other);
+
+  /// Welch t per sample; empty t_statistic until both classes have >= 2
+  /// traces, matching the batch tvla_t_test.
+  TvlaResult snapshot() const;
+
+ private:
+  std::size_t m_;
+  std::size_t na_ = 0;  ///< fixed-class traces
+  std::size_t nb_ = 0;  ///< random-class traces
+  std::vector<double> mean_a_, m2_a_;
+  std::vector<double> mean_b_, m2_b_;
+  std::vector<char> is_fixed_scratch_;
+};
+
+/// Checkpointed measurements-to-disclosure over one accumulator stream.
+///
+/// Feed the campaign through add()/add_batch(); the tracker splits batches
+/// at the grid boundaries the prefix-rerun implementation used
+/// (max(4, g * n / grid_points) for g = 1..grid_points), records the true
+/// key's rank at each, and finish() returns the smallest grid point from
+/// which the rank is 0 through the end of the stream -- the same MTD the
+/// O(grid) rerun produced, in a single pass.  The underlying accumulator
+/// doubles as the full-set CPA result (snapshot()).
+class MtdTracker {
+ public:
+  MtdTracker(LeakageModel model, std::size_t samples, std::uint8_t true_key,
+             std::size_t expected_traces, std::size_t grid_points = 16);
+
+  void add(std::uint8_t plaintext, std::span<const double> trace);
+  void add_batch(const TraceBatch& batch);
+
+  /// Evaluates any grid points the (possibly short) stream never reached
+  /// against the final state and returns the MTD (0 = never disclosed).
+  std::size_t finish();
+
+  /// Full-set CPA over everything streamed so far.
+  CpaResult snapshot(bool keep_time_curves = false) const {
+    return acc_.snapshot(keep_time_curves);
+  }
+  const CpaAccumulator& accumulator() const { return acc_; }
+
+ private:
+  void checkpoint();
+
+  CpaAccumulator acc_;
+  std::uint8_t true_key_;
+  std::vector<std::size_t> grid_;
+  std::vector<char> success_;
+  std::size_t next_grid_ = 0;
+  TraceBatch scratch_;
+};
+
+/// Shard-parallel CPA: cuts `traces` into fixed `shard_size`-trace shards,
+/// accumulates each shard on the util::parallel_for pool, and merges the
+/// shard accumulators in ascending index order.  Thread-count invariant by
+/// construction (fixed shards, fixed merge order).  Each in-flight shard
+/// holds an O(samples * 256) accumulator, so prefer plain streaming
+/// (CpaAccumulator::add_batch) unless the shards do independent work anyway
+/// (separate trace files, distributed campaigns).
+CpaAccumulator cpa_accumulate_sharded(const TraceSet& traces,
+                                      LeakageModel model,
+                                      std::size_t shard_size = 1024);
+
+}  // namespace pgmcml::sca

@@ -7,12 +7,18 @@
 //     bit.
 // Success metrics: best guess, rank of the true key, distinguishability
 // margin, and measurements-to-disclosure.
+//
+// Every attack here is a thin wrapper over the single-pass accumulator
+// engine (accumulator.hpp): traces stream through once -- from an in-memory
+// TraceSet, a trace file, or live acquisition -- and are folded into
+// mergeable running sums, so a campaign's memory footprint is one batch.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <vector>
 
+#include "pgmcml/sca/trace_source.hpp"
 #include "pgmcml/sca/traces.hpp"
 
 namespace pgmcml::sca {
@@ -47,6 +53,11 @@ CpaResult cpa_attack(const TraceSet& traces,
                      LeakageModel model = LeakageModel::kHammingWeight,
                      bool keep_time_curves = false);
 
+/// Streaming CPA: consumes `source` batch-by-batch in bounded memory.
+CpaResult cpa_attack(TraceSource& source,
+                     LeakageModel model = LeakageModel::kHammingWeight,
+                     bool keep_time_curves = false);
+
 struct DpaResult {
   /// max_t |mean1(t) - mean0(t)| for each key guess.
   std::array<double, 256> peak_difference{};
@@ -57,16 +68,35 @@ struct DpaResult {
 /// Kocher-style difference of means, partitioning on a predicted S-box bit.
 DpaResult dpa_attack(const TraceSet& traces);
 
+/// Streaming difference-of-means DPA over a trace source.
+DpaResult dpa_attack(TraceSource& source);
+
 /// Second-order CPA: centers each trace and squares it sample-wise before
 /// the Pearson stage (the standard univariate 2nd-order preprocessing that
 /// defeats first-order masking; included as evaluation tooling).
 CpaResult second_order_cpa(const TraceSet& traces,
                            LeakageModel model = LeakageModel::kHammingWeight);
 
+/// Streaming second-order CPA.  Two passes: a Welford mean-trace pass, then
+/// (after source.reset()) a centered-square pass into the CPA engine.
+CpaResult second_order_cpa(TraceSource& source,
+                           LeakageModel model = LeakageModel::kHammingWeight);
+
 /// Smallest number of traces (scanning prefixes on `grid` points) for which
 /// the CPA rank of the true key is 0 and stays 0 on every larger prefix.
 /// Returns 0 when the attack never discloses the key.
+///
+/// Single pass: the campaign streams once through one accumulator whose
+/// state is snapshotted at the grid points (see MtdTracker) -- no prefix
+/// copies, no per-grid-point CPA reruns.
 std::size_t measurements_to_disclosure(const TraceSet& traces,
+                                       std::uint8_t true_key,
+                                       LeakageModel model,
+                                       std::size_t grid_points = 16);
+
+/// Streaming MTD.  The grid is sized from source.size_hint(), which must be
+/// nonzero (throws std::invalid_argument otherwise).
+std::size_t measurements_to_disclosure(TraceSource& source,
                                        std::uint8_t true_key,
                                        LeakageModel model,
                                        std::size_t grid_points = 16);

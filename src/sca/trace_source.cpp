@@ -1,0 +1,33 @@
+#include "pgmcml/sca/trace_source.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pgmcml::sca {
+
+TraceSetSource::TraceSetSource(const TraceSet& traces, std::size_t limit,
+                               std::size_t batch_size)
+    : traces_(traces),
+      total_(std::min(limit, traces.num_traces())),
+      batch_size_(batch_size) {
+  if (batch_size_ == 0) {
+    throw std::invalid_argument("TraceSetSource: batch_size must be > 0");
+  }
+}
+
+std::size_t TraceSetSource::samples_per_trace() const {
+  return traces_.samples_per_trace();
+}
+
+bool TraceSetSource::next(TraceBatch& batch) {
+  batch.clear();
+  if (cursor_ >= total_) return false;
+  const std::size_t hi = std::min(total_, cursor_ + batch_size_);
+  for (std::size_t i = cursor_; i < hi; ++i) {
+    batch.add(traces_.plaintext(i), traces_.trace(i));
+  }
+  cursor_ = hi;
+  return true;
+}
+
+}  // namespace pgmcml::sca

@@ -1,60 +1,38 @@
 #include "pgmcml/sca/tvla.hpp"
 
-#include <cmath>
 #include <stdexcept>
+
+#include "pgmcml/sca/accumulator.hpp"
 
 namespace pgmcml::sca {
 
 TvlaResult tvla_t_test(const std::vector<std::vector<double>>& fixed,
                        const std::vector<std::vector<double>>& random) {
-  TvlaResult result;
-  result.fixed_traces = fixed.size();
-  result.random_traces = random.size();
-  if (fixed.size() < 2 || random.size() < 2) return result;
-  const std::size_t m = fixed.front().size();
-  for (const auto& t : fixed) {
-    if (t.size() != m) throw std::invalid_argument("tvla: ragged fixed set");
+  if (fixed.size() < 2 || random.size() < 2) {
+    TvlaResult result;
+    result.fixed_traces = fixed.size();
+    result.random_traces = random.size();
+    return result;
   }
-  for (const auto& t : random) {
-    if (t.size() != m) throw std::invalid_argument("tvla: ragged random set");
-  }
-
-  result.t_statistic.assign(m, 0.0);
-  const double na = static_cast<double>(fixed.size());
-  const double nb = static_cast<double>(random.size());
-  for (std::size_t j = 0; j < m; ++j) {
-    double mean_a = 0.0;
-    double mean_b = 0.0;
-    for (const auto& t : fixed) mean_a += t[j];
-    for (const auto& t : random) mean_b += t[j];
-    mean_a /= na;
-    mean_b /= nb;
-    double var_a = 0.0;
-    double var_b = 0.0;
-    for (const auto& t : fixed) var_a += (t[j] - mean_a) * (t[j] - mean_a);
-    for (const auto& t : random) var_b += (t[j] - mean_b) * (t[j] - mean_b);
-    var_a /= (na - 1.0);
-    var_b /= (nb - 1.0);
-    const double denom = std::sqrt(var_a / na + var_b / nb);
-    const double t_val = denom > 0.0 ? (mean_a - mean_b) / denom : 0.0;
-    result.t_statistic[j] = t_val;
-    result.max_abs_t = std::max(result.max_abs_t, std::fabs(t_val));
-  }
-  return result;
+  TvlaAccumulator acc(fixed.front().size());
+  // The accumulator enforces the ragged-input validation per trace.
+  for (const auto& t : fixed) acc.add(/*is_fixed=*/true, t);
+  for (const auto& t : random) acc.add(/*is_fixed=*/false, t);
+  return acc.snapshot();
 }
 
 TvlaResult tvla_from_traceset(const TraceSet& traces,
                               std::uint8_t fixed_plaintext) {
-  std::vector<std::vector<double>> fixed;
-  std::vector<std::vector<double>> random;
-  for (std::size_t i = 0; i < traces.num_traces(); ++i) {
-    if (traces.plaintext(i) == fixed_plaintext) {
-      fixed.push_back(traces.trace(i));
-    } else {
-      random.push_back(traces.trace(i));
-    }
-  }
-  return tvla_t_test(fixed, random);
+  TraceSetSource source(traces);
+  return tvla_from_source(source, fixed_plaintext);
+}
+
+TvlaResult tvla_from_source(TraceSource& source,
+                            std::uint8_t fixed_plaintext) {
+  TvlaAccumulator acc(source.samples_per_trace());
+  TraceBatch batch;
+  while (source.next(batch)) acc.add_batch(batch, fixed_plaintext);
+  return acc.snapshot();
 }
 
 }  // namespace pgmcml::sca

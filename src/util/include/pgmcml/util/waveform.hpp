@@ -82,6 +82,12 @@ class GridAccumulator {
  public:
   GridAccumulator(double t0, double dt, std::size_t n);
 
+  /// Same, but recycles `storage`'s heap buffer for the grid (moved-from and
+  /// zeroed).  Streaming producers composing one trace per slot reuse the
+  /// slot's allocation across batches instead of reallocating per trace.
+  GridAccumulator(double t0, double dt, std::size_t n,
+                  std::vector<double>&& storage);
+
   double t0() const { return t0_; }
   double dt() const { return dt_; }
   std::size_t size() const { return values_.size(); }

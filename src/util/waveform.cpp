@@ -190,6 +190,13 @@ GridAccumulator::GridAccumulator(double t0, double dt, std::size_t n)
   if (dt <= 0.0) throw std::invalid_argument("GridAccumulator: dt must be > 0");
 }
 
+GridAccumulator::GridAccumulator(double t0, double dt, std::size_t n,
+                                 std::vector<double>&& storage)
+    : t0_(t0), dt_(dt), values_(std::move(storage)) {
+  if (dt <= 0.0) throw std::invalid_argument("GridAccumulator: dt must be > 0");
+  values_.assign(n, 0.0);
+}
+
 void GridAccumulator::deposit(double t, double value) {
   const double pos = (t - t0_) / dt_;
   if (pos < -0.5) return;

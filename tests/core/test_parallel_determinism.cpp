@@ -4,6 +4,8 @@
 // executable so the ThreadSanitizer preset can select it via `ctest -L tsan`.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "pgmcml/core/dpa_flow.hpp"
 #include "pgmcml/util/parallel.hpp"
 
@@ -63,6 +65,50 @@ TEST_F(ParallelDeterminismTest, McmlFlowIsThreadCountInvariant) {
 
 TEST_F(ParallelDeterminismTest, PgMcmlFlowIsThreadCountInvariant) {
   expect_bitwise_equal_flow(CellLibrary::pgmcml90());
+}
+
+// The streaming refactor adds a second degree of freedom -- how the campaign
+// is cut into batches -- which, like the thread count, must never reach the
+// numbers.  Run the full flow over the 2x2 grid {1, 4 threads} x {two batch
+// sizes} and require one bitwise-identical result.
+TEST_F(ParallelDeterminismTest, StreamingFlowIsBatchAndThreadInvariant) {
+  DpaFlowOptions base;
+  base.num_traces = 96;
+  base.samples = 300;
+  base.compute_mtd = true;  // exercise the checkpointed MTD path too
+
+  std::vector<DpaFlowResult> results;
+  for (int threads : {1, 4}) {
+    for (std::size_t batch_size : {std::size_t{29}, std::size_t{256}}) {
+      DpaFlowOptions opt = base;
+      opt.batch_size = batch_size;
+      util::set_parallel_threads(threads);
+      results.push_back(run_dpa_flow(CellLibrary::cmos90(), opt));
+    }
+  }
+
+  const DpaFlowResult& ref = results.front();
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    const DpaFlowResult& got = results[r];
+    ASSERT_EQ(got.traces.num_traces(), ref.traces.num_traces());
+    for (std::size_t i = 0; i < ref.traces.num_traces(); ++i) {
+      ASSERT_EQ(got.traces.plaintext(i), ref.traces.plaintext(i));
+      const auto& a = ref.traces.trace(i);
+      const auto& b = got.traces.trace(i);
+      for (std::size_t j = 0; j < a.size(); ++j) {
+        ASSERT_EQ(a[j], b[j]) << "variant " << r << " trace " << i;
+      }
+    }
+    for (int k = 0; k < 256; ++k) {
+      EXPECT_EQ(got.cpa.peak_correlation[k], ref.cpa.peak_correlation[k]);
+      EXPECT_EQ(got.dpa.peak_difference[k], ref.dpa.peak_difference[k]);
+    }
+    EXPECT_EQ(got.mtd, ref.mtd);
+    EXPECT_EQ(got.key_rank, ref.key_rank);
+    EXPECT_EQ(got.margin, ref.margin);
+    EXPECT_EQ(got.mean_current, ref.mean_current);
+    EXPECT_EQ(got.diagnostics.attempts, ref.diagnostics.attempts);
+  }
 }
 
 }  // namespace
