@@ -4,6 +4,8 @@
 // device count, all measured at transistor level on the buffer cell.
 #include <benchmark/benchmark.h>
 
+#include "bench_manifest.hpp"
+
 #include <cstdio>
 
 #include "pgmcml/mcml/characterize.hpp"
@@ -77,7 +79,9 @@ BENCHMARK(BM_GatingCharacterization)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  pgmcml::bench::Manifest manifest("ablation_gating");
   print_ablation();
+  manifest.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "bench_manifest.hpp"
 #include "pgmcml/core/dpa_flow.hpp"
 #include "pgmcml/core/sbox_unit.hpp"
 #include "pgmcml/netlist/logicsim.hpp"
@@ -106,13 +107,16 @@ sca::CpaResult run_cpa(double residual_sigma, double supply_noise_ratio,
   return acc.snapshot();
 }
 
-void print_security_ablation() {
+void print_security_ablation(pgmcml::bench::Manifest& manifest) {
   const std::uint8_t key = 0x2b;
 
   util::Table t1("PG-MCML security vs leg-imbalance residual (2000 traces)");
   t1.header({"residual sigma", "key rank", "margin"});
   for (double sigma : {0.002, 0.01, 0.05, 0.2}) {
     const auto r = run_cpa(sigma, 0.0025, 2000, key);
+    manifest.metric("residual." + util::Table::num(sigma, 3) + ".key_rank",
+                    static_cast<double>(r.key_rank(key)),
+                    pgmcml::bench::Better::kNone);
     t1.row({util::Table::num(sigma, 3), std::to_string(r.key_rank(key)),
             util::Table::num(r.margin(key), 4)});
   }
@@ -140,14 +144,19 @@ void print_security_ablation() {
   }
   t2.print();
 
-  // Machine-readable acquisition health for the sweep above.
-  if (std::FILE* f = std::fopen("BENCH_ablation_security.json", "w")) {
-    std::fprintf(f, "{\n  \"diagnostics\": %s\n}\n",
-                 flow_diag.to_json().c_str());
-    std::fclose(f);
-    std::printf("Wrote BENCH_ablation_security.json (diagnostics: %s)\n\n",
-                flow_diag.clean() ? "clean" : "incidents recorded");
-  }
+  // Machine-readable acquisition health for the sweep above: retries and
+  // skips are deterministic and gate regressions; the raw incident list
+  // rides along as a section.
+  manifest.metric("acquisition.retries", static_cast<double>(flow_diag.retries),
+                  pgmcml::bench::Better::kLower);
+  manifest.metric("acquisition.skips", static_cast<double>(flow_diag.skipped),
+                  pgmcml::bench::Better::kLower);
+  manifest.section(
+      "diagnostics",
+      pgmcml::obs::json::Value::parse(flow_diag.to_json()));
+  manifest.write();
+  std::printf("(diagnostics: %s)\n\n",
+              flow_diag.clean() ? "clean" : "incidents recorded");
   std::printf(
       "Reading: CPA averages noise away -- only mA-class noise floors "
       "(thousands of times the scope's)\nbury the CMOS leak at this trace "
@@ -165,7 +174,8 @@ BENCHMARK(BM_SecurityTracePoint)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_security_ablation();
+  pgmcml::bench::Manifest manifest("ablation_security");
+  print_security_ablation(manifest);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -11,6 +11,8 @@
 // (characterize_cell / characterize_dycml_buffer).
 #include <benchmark/benchmark.h>
 
+#include "bench_manifest.hpp"
+
 #include <cstdio>
 
 #include "pgmcml/cells/library.hpp"
@@ -106,7 +108,9 @@ BENCHMARK(BM_DycmlCharacterization)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  pgmcml::bench::Manifest manifest("ablation_styles");
   print_style_comparison();
+  manifest.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

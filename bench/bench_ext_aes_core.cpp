@@ -6,6 +6,8 @@
 // proportionally larger, and power gating matters even more.
 #include <benchmark/benchmark.h>
 
+#include "bench_manifest.hpp"
+
 #include <cstdio>
 
 #include <cstdlib>
@@ -170,8 +172,10 @@ BENCHMARK(BM_RunAesCoreBlock)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  pgmcml::bench::Manifest manifest("ext_aes_core");
   print_aes_core();
   print_full_core_cpa();
+  manifest.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

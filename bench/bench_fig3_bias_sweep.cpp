@@ -6,6 +6,8 @@
 // transient characterization.
 #include <benchmark/benchmark.h>
 
+#include "bench_manifest.hpp"
+
 #include <cstdio>
 #include <vector>
 
@@ -71,7 +73,9 @@ BENCHMARK(BM_BiasSweepPoint)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  pgmcml::bench::Manifest manifest("fig3_bias_sweep");
   print_fig3();
+  manifest.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

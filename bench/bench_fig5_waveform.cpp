@@ -4,6 +4,8 @@
 // with the sleep signal overlaid.
 #include <benchmark/benchmark.h>
 
+#include "bench_manifest.hpp"
+
 #include <cstdio>
 
 #include "pgmcml/core/ise_experiment.hpp"
@@ -76,7 +78,9 @@ BENCHMARK(BM_ComposeFig5)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  pgmcml::bench::Manifest manifest("fig5_waveform");
   print_fig5();
+  manifest.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

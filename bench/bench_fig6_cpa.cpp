@@ -8,9 +8,10 @@
 //
 // The whole evaluation streams: acquisition runs batch-by-batch through the
 // accumulator engine with keep_traces off, so the campaign never
-// materializes a trace matrix (the peak-RSS figure in BENCH_sca.json is the
-// receipt).  PGMCML_FIG6_TRACES can override the per-style trace budget
-// (default 4000; the paper's full sweep is 65536).
+// materializes a trace matrix (the peak-RSS figure in the
+// BENCH_fig6_cpa.json manifest is the receipt).  PGMCML_FIG6_TRACES can
+// override the per-style trace budget (default 4000; the paper's full sweep
+// is 65536).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -21,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_manifest.hpp"
 #include "pgmcml/core/dpa_flow.hpp"
 #include "pgmcml/sca/accumulator.hpp"
 #include "pgmcml/sca/tvla.hpp"
@@ -43,21 +45,7 @@ double now_seconds() {
   return std::chrono::duration<double>(t).count();
 }
 
-/// Peak resident-set size of this process in kB (VmHWM), 0 where
-/// /proc/self/status is unavailable (non-Linux).
-std::size_t peak_rss_kb() {
-  std::FILE* f = std::fopen("/proc/self/status", "r");
-  if (f == nullptr) return 0;
-  char line[256];
-  std::size_t kb = 0;
-  while (std::fgets(line, sizeof line, f) != nullptr) {
-    if (std::sscanf(line, "VmHWM: %zu", &kb) == 1) break;
-  }
-  std::fclose(f);
-  return kb;
-}
-
-/// Per-style measurements collected for BENCH_sca.json.
+/// Per-style measurements collected for the manifest.
 struct StyleBench {
   std::string style;
   std::size_t traces = 0;
@@ -191,29 +179,36 @@ void print_fig6(std::vector<StyleBench>& bench) {
       "CPA-only security claim.\n\n");
 }
 
-void write_bench_json(const std::vector<StyleBench>& bench) {
-  std::FILE* f = std::fopen("BENCH_sca.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open BENCH_sca.json for writing\n");
-    return;
+void write_bench_json(pgmcml::bench::Manifest& manifest,
+                      const std::vector<StyleBench>& bench) {
+  obs::json::Array styles;
+  for (const StyleBench& s : bench) {
+    // Timings are machine-dependent (CI ignores them); the attack outcomes
+    // (key rank per style, TVLA verdicts) are exact.
+    manifest.metric("cpa." + s.style + ".seconds", s.cpa_seconds,
+                    pgmcml::bench::Better::kLower);
+    manifest.metric("cpa." + s.style + ".traces_per_s", s.traces_per_second(),
+                    pgmcml::bench::Better::kHigher);
+    manifest.metric("cpa." + s.style + ".key_rank",
+                    static_cast<double>(s.key_rank),
+                    pgmcml::bench::Better::kNone);
+    manifest.metric("tvla." + s.style + ".max_t", s.tvla_max_t,
+                    pgmcml::bench::Better::kNone);
+    obs::json::Object row;
+    row.emplace_back("style", s.style);
+    row.emplace_back("traces", static_cast<std::uint64_t>(s.traces));
+    row.emplace_back("seconds", s.cpa_seconds);
+    row.emplace_back("traces_per_s", s.traces_per_second());
+    row.emplace_back("key_rank", s.key_rank);
+    row.emplace_back("mtd", static_cast<std::uint64_t>(s.mtd));
+    row.emplace_back("tvla_max_t", s.tvla_max_t);
+    row.emplace_back("diagnostics",
+                     obs::json::Value::parse(s.diagnostics_json));
+    styles.emplace_back(std::move(row));
   }
-  std::fprintf(f, "{\n  \"peak_rss_kb\": %zu,\n  \"styles\": [\n",
-               peak_rss_kb());
-  for (std::size_t i = 0; i < bench.size(); ++i) {
-    const StyleBench& s = bench[i];
-    std::fprintf(f,
-                 "    {\"style\": \"%s\", \"traces\": %zu, "
-                 "\"seconds\": %.6f, \"traces_per_s\": %.1f, "
-                 "\"key_rank\": %d, \"mtd\": %zu, \"tvla_max_t\": %.4f, "
-                 "\"diagnostics\": %s}%s\n",
-                 s.style.c_str(), s.traces, s.cpa_seconds,
-                 s.traces_per_second(), s.key_rank, s.mtd, s.tvla_max_t,
-                 s.diagnostics_json.c_str(),
-                 i + 1 < bench.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("Wrote BENCH_sca.json\n\n");
+  manifest.section("styles", obs::json::Value(std::move(styles)));
+  manifest.write();
+  std::printf("\n");
 }
 
 void BM_CpaAttackOnly(benchmark::State& state) {
@@ -242,9 +237,10 @@ BENCHMARK(BM_TraceAcquisition)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  pgmcml::bench::Manifest manifest("fig6_cpa");
   std::vector<StyleBench> bench;
   print_fig6(bench);
-  write_bench_json(bench);
+  write_bench_json(manifest, bench);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -2,15 +2,18 @@
 // parallelized stage of the evaluation flow once with 1 worker (the serial
 // fallback) and once with the configured worker count (PGMCML_THREADS or
 // hardware_concurrency), checks that both runs produce bitwise-identical
-// results, and writes the measurements to BENCH_pipeline.json for machine
-// consumption.
+// results, and emits the measurements in the shared BENCH_pipeline.json
+// manifest envelope.  PGMCML_BENCH_SMOKE=1 shrinks every workload to a
+// CI-sized smoke run whose deterministic counters still gate regressions.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench_manifest.hpp"
 #include "pgmcml/core/dpa_flow.hpp"
 #include "pgmcml/mcml/characterize.hpp"
 #include "pgmcml/mcml/montecarlo.hpp"
@@ -73,6 +76,13 @@ double checksum(const sca::TraceSet& ts) {
   return sum;
 }
 
+/// CI smoke mode: shrink the workloads so the whole bench finishes in
+/// seconds while exercising the same code paths.
+bool smoke_mode() {
+  const char* env = std::getenv("PGMCML_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
 std::unique_ptr<spice::Circuit> make_divider() {
   auto c = std::make_unique<spice::Circuit>();
   const auto n1 = c->node("in");
@@ -86,14 +96,18 @@ std::unique_ptr<spice::Circuit> make_divider() {
 }  // namespace
 
 int main() {
+  bench::Manifest manifest("pipeline");
+  const bool smoke = smoke_mode();
   const std::size_t nthreads = util::parallel_threads();
-  std::printf("Pipeline benchmark: 1 thread vs %zu threads\n\n", nthreads);
+  std::printf("Pipeline benchmark: 1 thread vs %zu threads%s\n\n", nthreads,
+              smoke ? " (smoke mode)" : "");
 
   // Fixed, modest workloads: large enough to expose the per-stage costs,
-  // small enough to finish in minutes on one core.
+  // small enough to finish in minutes on one core.  Smoke mode shrinks them
+  // to CI scale; the baselines under bench/baselines/ are smoke-mode runs.
   core::DpaFlowOptions acq_opt;
-  acq_opt.num_traces = 192;
-  acq_opt.samples = 400;
+  acq_opt.num_traces = smoke ? 48 : 192;
+  acq_opt.samples = smoke ? 200 : 400;
 
   // The CPA stage attacks a fixed trace set acquired once up front.
   const sca::TraceSet cpa_input =
@@ -138,7 +152,7 @@ int main() {
 
   stages.push_back(time_stage("montecarlo", [&] {
     const mcml::MonteCarloResult r = mcml::monte_carlo_characterize(
-        mcml::CellKind::kBuf, mcml::McmlDesign{}, 6);
+        mcml::CellKind::kBuf, mcml::McmlDesign{}, smoke ? 3 : 6);
     return r.delay.mean() + r.swing.mean() + r.static_current.mean() +
            static_cast<double>(r.failures);
   }));
@@ -151,9 +165,12 @@ int main() {
     return sum;
   }));
 
+  const int sweep_points = smoke ? 64 : 256;
   stages.push_back(time_stage("dc_sweep_batch", [&] {
     std::vector<double> values;
-    for (int i = 0; i <= 256; ++i) values.push_back(i * (2.5 / 256.0));
+    for (int i = 0; i <= sweep_points; ++i) {
+      values.push_back(i * (2.5 / sweep_points));
+    }
     const auto results = spice::dc_sweep_batch(make_divider, "V1", values);
     double sum = 0.0;
     for (const auto& r : results) {
@@ -165,37 +182,49 @@ int main() {
   util::set_parallel_threads(0);
 
   // One full flow run for the diagnostics block: acquisition health
-  // (retries/skips and engine-effort totals) goes to the JSON alongside the
-  // timings, so a degraded-but-passing run is visible to machines too.
+  // (retries/skips and engine-effort totals) goes to the manifest alongside
+  // the timings, so a degraded-but-passing run is visible to machines too.
   core::DpaFlowOptions diag_opt = acq_opt;
-  diag_opt.num_traces = 64;
+  diag_opt.num_traces = smoke ? 32 : 64;
   const core::DpaFlowResult diag_flow =
       core::run_dpa_flow(CellLibrary::pgmcml90(), diag_opt);
-  const std::string diagnostics_json = diag_flow.diagnostics.to_json();
   std::printf("\nFlow diagnostics: %s\n",
               diag_flow.diagnostics.clean() ? "clean" : "incidents recorded");
 
-  std::FILE* f = std::fopen("BENCH_pipeline.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open BENCH_pipeline.json for writing\n");
-    return 1;
+  // Timings are machine-dependent (CI ignores "*.serial_s"/"*.parallel_s"/
+  // "*.speedup"); determinism flags and acquisition health are exact and
+  // gate regressions at any machine speed.
+  obs::json::Array stage_rows;
+  for (const StageResult& s : stages) {
+    manifest.metric("stage." + s.name + ".serial_s", s.serial_s,
+                    bench::Better::kLower);
+    manifest.metric("stage." + s.name + ".parallel_s", s.parallel_s,
+                    bench::Better::kLower);
+    manifest.metric("stage." + s.name + ".speedup", s.speedup(),
+                    bench::Better::kHigher);
+    manifest.metric("stage." + s.name + ".deterministic",
+                    s.deterministic ? 1.0 : 0.0, bench::Better::kHigher);
+    obs::json::Object row;
+    row.emplace_back("name", s.name);
+    row.emplace_back("serial_s", s.serial_s);
+    row.emplace_back("parallel_s", s.parallel_s);
+    row.emplace_back("speedup", s.speedup());
+    row.emplace_back("deterministic", s.deterministic);
+    stage_rows.emplace_back(std::move(row));
   }
-  std::fprintf(f, "{\n  \"threads_serial\": 1,\n  \"threads_parallel\": %zu,\n",
-               nthreads);
-  std::fprintf(f, "  \"stages\": [\n");
-  for (std::size_t i = 0; i < stages.size(); ++i) {
-    const StageResult& s = stages[i];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"serial_s\": %.6f, \"parallel_s\": "
-                 "%.6f, \"speedup\": %.4f, \"deterministic\": %s}%s\n",
-                 s.name.c_str(), s.serial_s, s.parallel_s, s.speedup(),
-                 s.deterministic ? "true" : "false",
-                 i + 1 < stages.size() ? "," : "");
-  }
-  std::fprintf(f, "  ],\n  \"diagnostics\": %s\n}\n",
-               diagnostics_json.c_str());
-  std::fclose(f);
-  std::printf("\nWrote BENCH_pipeline.json\n");
+  manifest.metric("acquisition.retries",
+                  static_cast<double>(diag_flow.diagnostics.retries),
+                  bench::Better::kLower);
+  manifest.metric("acquisition.skips",
+                  static_cast<double>(diag_flow.diagnostics.skipped),
+                  bench::Better::kLower);
+  manifest.metric("flow.key_rank", static_cast<double>(diag_flow.key_rank),
+                  bench::Better::kNone);
+  manifest.section("stages", obs::json::Value(std::move(stage_rows)));
+  manifest.section(
+      "diagnostics",
+      obs::json::Value::parse(diag_flow.diagnostics.to_json()));
+  if (!manifest.write()) return 1;
 
   for (const StageResult& s : stages) {
     if (!s.deterministic) {

@@ -4,6 +4,8 @@
 // netlist-generation paths; the primary output is the printed table.
 #include <benchmark/benchmark.h>
 
+#include "bench_manifest.hpp"
+
 #include <cstdio>
 
 #include "pgmcml/mcml/area.hpp"
@@ -76,7 +78,9 @@ BENCHMARK(BM_NetlistGeneration);
 }  // namespace
 
 int main(int argc, char** argv) {
+  pgmcml::bench::Manifest manifest("table1_area");
   print_table1();
+  manifest.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -5,6 +5,8 @@
 // are shown alongside for the EXPERIMENTS.md comparison.
 #include <benchmark/benchmark.h>
 
+#include "bench_manifest.hpp"
+
 #include <cstdio>
 
 #include "pgmcml/mcml/area.hpp"
@@ -67,7 +69,9 @@ BENCHMARK(BM_CharacterizeFullAdder)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  pgmcml::bench::Manifest manifest("table2_library");
   print_table2();
+  manifest.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -5,6 +5,8 @@
 // in static CMOS's power class.
 #include <benchmark/benchmark.h>
 
+#include "bench_manifest.hpp"
+
 #include <cstdio>
 
 #include "pgmcml/core/ise_experiment.hpp"
@@ -100,7 +102,9 @@ BENCHMARK(BM_AesOnCpu)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  pgmcml::bench::Manifest manifest("table3_sbox_ise");
   print_table3();
+  manifest.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -7,6 +7,7 @@
 
 #include "pgmcml/core/sbox_unit.hpp"
 #include "pgmcml/netlist/logicsim.hpp"
+#include "pgmcml/obs/obs.hpp"
 #include "pgmcml/power/kernels.hpp"
 #include "pgmcml/sca/accumulator.hpp"
 #include "pgmcml/util/parallel.hpp"
@@ -127,7 +128,23 @@ class ReducedAesSource final : public AcquisitionSource {
 
   bool next(sca::TraceBatch& batch) override {
     batch.clear();
+    // Obs handles resolved once; batch latency lands in the
+    // "time/core.acquisition.batch" histogram, alongside the counters the
+    // FlowDiagnostics totals already carry per run.
+    static struct Handles {
+      obs::Counter batches, traces, retries, skips;
+      Handles()
+          : batches(obs::Registry::global().counter(
+                "core.acquisition.batches")),
+            traces(
+                obs::Registry::global().counter("core.acquisition.traces")),
+            retries(
+                obs::Registry::global().counter("core.acquisition.retries")),
+            skips(obs::Registry::global().counter("core.acquisition.skips")) {
+      }
+    } handles;
     while (batch.empty() && cursor_ < options_.num_traces) {
+      obs::ScopedTimer batch_span("core.acquisition.batch");
       const std::size_t base = cursor_;
       const std::size_t n =
           std::min(options_.batch_size, options_.num_traces - base);
@@ -138,13 +155,21 @@ class ReducedAesSource final : public AcquisitionSource {
       util::parallel_for(n, [&](std::size_t i) { simulate_slot(base, i); });
       // Ordered merge: accumulator order matches the serial loop exactly,
       // and skipped traces are excluded identically at any thread count.
+      std::size_t batch_retries = 0;
+      std::size_t batch_skips = 0;
       for (std::size_t i = 0; i < n; ++i) {
+        batch_retries += trace_diag_[i].retries;
+        batch_skips += trace_diag_[i].skipped;
         diagnostics_.merge(trace_diag_[i]);
         if (skipped_[i]) continue;
         current_stats_.add(util::mean(rows_[i]));
         batch.add(plaintexts_[i], std::span<const double>(rows_[i]));
       }
       cursor_ = base + n;
+      handles.batches.add(1);
+      handles.traces.add(n - batch_skips);
+      handles.retries.add(batch_retries);
+      handles.skips.add(batch_skips);
     }
     return !batch.empty();
   }
@@ -257,6 +282,7 @@ sca::TraceSet acquire_reduced_aes_traces(const cells::CellLibrary& library,
 
 DpaFlowResult run_dpa_flow(const cells::CellLibrary& library,
                            const DpaFlowOptions& options) {
+  obs::ScopedTimer span("core.dpa_flow");
   auto source = make_acquisition_source(library, options);
   DpaFlowResult result;
   result.stats = source->design_stats();

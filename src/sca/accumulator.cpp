@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "pgmcml/aes/aes.hpp"
+#include "pgmcml/obs/obs.hpp"
 #include "pgmcml/util/parallel.hpp"
 
 namespace pgmcml::sca {
@@ -14,6 +15,38 @@ namespace {
 /// Column-block width shared by the streaming engines: fixed, so the
 /// per-column update sequence never depends on the worker count.
 constexpr std::size_t kColBlock = 64;
+
+/// Per-engine obs counters (rows folded in, bytes streamed, merges).  Handles
+/// are resolved once per engine and bumped outside the parallel regions, so
+/// the hot column loops stay untouched and the totals are thread-invariant.
+struct EngineCounters {
+  obs::Counter rows;
+  obs::Counter bytes;
+  obs::Counter merges;
+
+  explicit EngineCounters(const std::string& prefix)
+      : rows(obs::Registry::global().counter(prefix + ".rows_merged")),
+        bytes(obs::Registry::global().counter(prefix + ".bytes_streamed")),
+        merges(obs::Registry::global().counter(prefix + ".merges")) {}
+
+  void note_rows(std::size_t n, std::size_t samples) {
+    rows.add(n);
+    bytes.add(n * samples * sizeof(double));
+  }
+};
+
+EngineCounters& cpa_obs() {
+  static EngineCounters c("sca.cpa");
+  return c;
+}
+EngineCounters& dpa_obs() {
+  static EngineCounters c("sca.dpa");
+  return c;
+}
+EngineCounters& tvla_obs() {
+  static EngineCounters c("sca.tvla");
+  return c;
+}
 
 void check_trace_width(std::size_t got, std::size_t want, const char* who) {
   if (got != want) {
@@ -97,9 +130,11 @@ void CpaAccumulator::add_batch(const TraceBatch& batch) {
       /*grain=*/1);
 
   n_ += nb;
+  cpa_obs().note_rows(nb, m_);
 }
 
 void CpaAccumulator::merge(const CpaAccumulator& other) {
+  cpa_obs().merges.add(1);
   if (other.model_ != model_ || other.m_ != m_) {
     throw std::invalid_argument(
         "CpaAccumulator::merge: model/sample-count mismatch");
@@ -167,6 +202,7 @@ void DpaAccumulator::add(std::uint8_t plaintext,
     for (std::size_t j = 0; j < m_; ++j) row[j] += trace[j];
   }
   ++n_;
+  dpa_obs().note_rows(1, m_);
 }
 
 void DpaAccumulator::add_batch(const TraceBatch& batch) {
@@ -192,9 +228,11 @@ void DpaAccumulator::add_batch(const TraceBatch& batch) {
     }
   });
   n_ += nb;
+  dpa_obs().note_rows(nb, m_);
 }
 
 void DpaAccumulator::merge(const DpaAccumulator& other) {
+  dpa_obs().merges.add(1);
   if (other.m_ != m_) {
     throw std::invalid_argument("DpaAccumulator::merge: sample-count mismatch");
   }
@@ -251,6 +289,7 @@ void TvlaAccumulator::add(bool is_fixed, std::span<const double> trace) {
     mean[j] += d / cnt;
     m2[j] += d * (trace[j] - mean[j]);
   }
+  tvla_obs().note_rows(1, m_);
 }
 
 void TvlaAccumulator::add_batch(const TraceBatch& batch,
@@ -304,9 +343,11 @@ void TvlaAccumulator::add_batch(const TraceBatch& batch,
       ++nb_;
     }
   }
+  tvla_obs().note_rows(nb, m_);
 }
 
 void TvlaAccumulator::merge(const TvlaAccumulator& other) {
+  tvla_obs().merges.add(1);
   if (other.m_ != m_) {
     throw std::invalid_argument(
         "TvlaAccumulator::merge: sample-count mismatch");

@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "pgmcml/obs/obs.hpp"
 #include "pgmcml/util/matrix.hpp"
 #include "pgmcml/util/parallel.hpp"
 
@@ -13,6 +14,58 @@ namespace pgmcml::spice {
 namespace {
 
 std::atomic<std::size_t> g_workspace_allocations{0};
+
+/// Folds one analysis' effort counters into the global observability
+/// registry.  Handles are hoisted into function-local statics (one mutexed
+/// lookup per name for the whole process); Registry::reset keeps them valid.
+void publish_engine_stats(const EngineStats& s) {
+  auto& reg = obs::Registry::global();
+  static struct Handles {
+    obs::Counter newton_iterations, newton_failures, lu_factorizations,
+        lu_solves, steps_accepted, steps_rejected, gmin_step_stages,
+        source_step_stages, dt_floor_breaches, gmin_boosts, be_fallback_steps,
+        recovered_steps, faults_injected;
+    explicit Handles(obs::Registry& r)
+        : newton_iterations(r.counter("spice.newton_iterations")),
+          newton_failures(r.counter("spice.newton_failures")),
+          lu_factorizations(r.counter("spice.lu_factorizations")),
+          lu_solves(r.counter("spice.lu_solves")),
+          steps_accepted(r.counter("spice.steps_accepted")),
+          steps_rejected(r.counter("spice.steps_rejected")),
+          gmin_step_stages(r.counter("spice.gmin_step_stages")),
+          source_step_stages(r.counter("spice.source_step_stages")),
+          dt_floor_breaches(r.counter("spice.ladder.dt_floor_breaches")),
+          gmin_boosts(r.counter("spice.ladder.gmin_boosts")),
+          be_fallback_steps(r.counter("spice.ladder.be_fallback_steps")),
+          recovered_steps(r.counter("spice.ladder.recovered_steps")),
+          faults_injected(r.counter("spice.faults_injected")) {}
+  } c{reg};
+  c.newton_iterations.add(s.newton_iterations);
+  c.newton_failures.add(s.newton_failures);
+  c.lu_factorizations.add(s.lu_factorizations);
+  c.lu_solves.add(s.lu_solves);
+  c.steps_accepted.add(s.steps_accepted);
+  c.steps_rejected.add(s.steps_rejected);
+  c.gmin_step_stages.add(s.gmin_step_stages);
+  c.source_step_stages.add(s.source_step_stages);
+  c.dt_floor_breaches.add(s.dt_floor_breaches);
+  c.gmin_boosts.add(s.gmin_boosts);
+  c.be_fallback_steps.add(s.be_fallback_steps);
+  c.recovered_steps.add(s.recovered_steps);
+  c.faults_injected.add(s.faults_injected);
+}
+
+/// Sweep-level publication: one aggregated EngineStats for all points plus
+/// the point count, published serially after the (possibly parallel) sweep
+/// so the obs deltas are deterministic at any thread count.
+void publish_sweep_stats(const std::vector<DcResult>& results) {
+  EngineStats total;
+  for (const DcResult& r : results) total.merge(r.stats);
+  publish_engine_stats(total);
+  static obs::Counter points_counter =
+      obs::Registry::global().counter("spice.dc_sweep_points");
+  points_counter.add(results.size());
+}
 
 /// Sizes the workspace for an n-unknown system.  Only counts (and pays for)
 /// an allocation when the dimension actually changes, so calling this at the
@@ -23,6 +76,9 @@ void prepare_workspace(NewtonWorkspace& ws, std::size_t n) {
     ws.b.assign(n, 0.0);
     ws.x_new.assign(n, 0.0);
     g_workspace_allocations.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter realloc_counter =
+        obs::Registry::global().counter("spice.workspace_reallocations");
+    realloc_counter.add(1);
   }
 }
 
@@ -101,6 +157,7 @@ NewtonOutcome newton_solve(Circuit& circuit, std::vector<double>& x,
     for (auto& dev : circuit.devices()) dev->stamp(ctx);
 
     out.iterations = iter + 1;
+    ++stats.lu_factorizations;
     if (!ws.lu.factorize(ws.a)) {
       out.failure = ws.lu.status() == util::LuStatus::kNonFinite
                         ? SolveErrorKind::kNonFiniteValues
@@ -108,6 +165,7 @@ NewtonOutcome newton_solve(Circuit& circuit, std::vector<double>& x,
       break;
     }
     ws.lu.solve_into(ws.b, ws.x_new);
+    ++stats.lu_solves;
     if (poison_first_iterate) {
       ws.x_new[0] = std::numeric_limits<double>::quiet_NaN();
       poison_first_iterate = false;
@@ -358,15 +416,19 @@ std::size_t newton_workspace_allocations() {
 }
 
 DcResult dc_operating_point(Circuit& circuit, const DcOptions& options) {
+  obs::ScopedTimer span("spice.dc");
   NewtonWorkspace ws;
   FaultCursor cursor(options.fault_plan, options.fault_context);
-  return dc_operating_point_ws(circuit, options, ws, &cursor);
+  DcResult result = dc_operating_point_ws(circuit, options, ws, &cursor);
+  publish_engine_stats(result.stats);
+  return result;
 }
 
 std::vector<DcResult> dc_sweep(Circuit& circuit,
                                const std::string& source_name,
                                const std::vector<double>& values,
                                const DcOptions& options) {
+  obs::ScopedTimer span("spice.dc_sweep");
   VoltageSource* source = find_sweep_source(circuit, source_name);
   options.validate();
   if (!circuit.finalized()) circuit.finalize();
@@ -383,6 +445,7 @@ std::vector<DcResult> dc_sweep(Circuit& circuit,
     if (r.converged) warm = r.x;
     results.push_back(std::move(r));
   }
+  publish_sweep_stats(results);
   return results;
 }
 
@@ -390,6 +453,7 @@ std::vector<DcResult> dc_sweep_batch(
     const std::function<std::unique_ptr<Circuit>()>& make_circuit,
     const std::string& source_name, const std::vector<double>& values,
     const DcOptions& options, std::size_t chunk) {
+  obs::ScopedTimer span("spice.dc_sweep_batch");
   if (chunk == 0) chunk = 1;
   options.validate();
   // Validate the factory and source name eagerly, matching dc_sweep's throws.
@@ -425,11 +489,14 @@ std::vector<DcResult> dc_sweep_batch(
         }
       },
       /*grain=*/1);
+  publish_sweep_stats(results);
   return results;
 }
 
-TranResult transient(Circuit& circuit, double t_stop,
-                     const TranOptions& options) {
+namespace {
+
+TranResult transient_impl(Circuit& circuit, double t_stop,
+                          const TranOptions& options) {
   options.validate();
   if (!circuit.finalized()) circuit.finalize();
   TranResult result;
@@ -642,6 +709,16 @@ TranResult transient(Circuit& circuit, double t_stop,
 
   result.final_state = x;
   result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+TranResult transient(Circuit& circuit, double t_stop,
+                     const TranOptions& options) {
+  obs::ScopedTimer span("spice.transient");
+  TranResult result = transient_impl(circuit, t_stop, options);
+  publish_engine_stats(result.stats);
   return result;
 }
 

@@ -46,6 +46,8 @@ struct SolveError {
 struct EngineStats {
   std::size_t newton_iterations = 0;  ///< total NR iterations
   std::size_t newton_failures = 0;    ///< NR runs that did not converge
+  std::size_t lu_factorizations = 0;  ///< LU factorizations attempted
+  std::size_t lu_solves = 0;          ///< forward/back substitutions run
   std::size_t steps_accepted = 0;     ///< transient steps accepted
   std::size_t steps_rejected = 0;     ///< transient steps rejected
   std::size_t gmin_step_stages = 0;   ///< DC gmin-stepping stages run

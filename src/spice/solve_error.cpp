@@ -29,6 +29,8 @@ std::string SolveError::describe() const {
 void EngineStats::merge(const EngineStats& other) {
   newton_iterations += other.newton_iterations;
   newton_failures += other.newton_failures;
+  lu_factorizations += other.lu_factorizations;
+  lu_solves += other.lu_solves;
   steps_accepted += other.steps_accepted;
   steps_rejected += other.steps_rejected;
   gmin_step_stages += other.gmin_step_stages;

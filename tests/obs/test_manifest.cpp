@@ -1,0 +1,160 @@
+// Bench-manifest envelope and regression gate: schema shape, metric
+// directions, and the compare rules bench_compare enforces in CI (identical
+// runs pass, a beyond-threshold degradation of a gated metric fails, and
+// unsupported schema versions are errors, not silent passes).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench_manifest.hpp"
+
+namespace {
+
+using pgmcml::bench::Better;
+using pgmcml::bench::CompareOptions;
+using pgmcml::bench::CompareReport;
+using pgmcml::bench::Manifest;
+using pgmcml::bench::compare_manifests;
+using pgmcml::bench::glob_match;
+using pgmcml::obs::json::Value;
+
+Value sample_manifest(double seconds, double retries) {
+  Manifest m("unit");
+  m.metric("stage.seconds", seconds, Better::kLower);
+  m.metric("throughput", 100.0, Better::kHigher);
+  m.metric("retries", retries, Better::kLower);
+  m.metric("key_rank", 3.0, Better::kNone);
+  return m.to_json();
+}
+
+TEST(Manifest, EnvelopeShape) {
+  Manifest m("shape");
+  m.metric("a", 1.0, Better::kLower);
+  pgmcml::obs::json::Object extra;
+  extra.emplace_back("note", "hello");
+  m.section("detail", Value(std::move(extra)));
+
+  // Serialize and reparse: the envelope must be valid JSON with the full
+  // provenance header.
+  const Value doc = Value::parse(m.to_json().dump(2));
+  EXPECT_EQ(doc.number_or("schema_version", -1),
+            pgmcml::bench::kManifestSchemaVersion);
+  EXPECT_EQ(doc.string_or("bench", ""), "shape");
+  EXPECT_FALSE(doc.string_or("git_sha", "").empty());
+  EXPECT_TRUE(doc.find("wall_s") != nullptr);
+  EXPECT_TRUE(doc.find("cpu_s") != nullptr);
+  EXPECT_TRUE(doc.find("peak_rss_kb") != nullptr);
+  EXPECT_TRUE(doc.find("threads") != nullptr);
+  EXPECT_EQ(doc.at("metrics").at("a").number_or("value", -1), 1.0);
+  EXPECT_EQ(doc.at("metrics").at("a").string_or("better", ""), "lower");
+  EXPECT_EQ(doc.at("sections").at("detail").string_or("note", ""), "hello");
+  // The obs snapshot section is always present.
+  EXPECT_TRUE(doc.at("obs").find("counters") != nullptr);
+}
+
+TEST(Manifest, MetricOverwriteReplacesInPlace) {
+  Manifest m("unit");
+  m.metric("a", 1.0, Better::kLower);
+  m.metric("a", 2.0, Better::kLower);
+  const Value doc = m.to_json();
+  EXPECT_EQ(doc.at("metrics").as_object().size(), 1u);
+  EXPECT_EQ(doc.at("metrics").at("a").number_or("value", -1), 2.0);
+}
+
+TEST(Compare, IdenticalRunsPass) {
+  const Value base = sample_manifest(1.0, 0.0);
+  const Value cur = sample_manifest(1.0, 0.0);
+  const CompareReport r = compare_manifests(base, cur);
+  EXPECT_TRUE(r.ok()) << r.render();
+  EXPECT_EQ(r.regressions(), 0u);
+}
+
+TEST(Compare, RegressionBeyondThresholdFails) {
+  const Value base = sample_manifest(1.0, 0.0);
+  // 50% slower with a 25% default threshold: regression.
+  const CompareReport r = compare_manifests(base, sample_manifest(1.5, 0.0));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.regressions(), 1u);
+}
+
+TEST(Compare, WithinThresholdPasses) {
+  const Value base = sample_manifest(1.0, 0.0);
+  const CompareReport r = compare_manifests(base, sample_manifest(1.2, 0.0));
+  EXPECT_TRUE(r.ok()) << r.render();
+}
+
+TEST(Compare, ZeroBaselineGrowthIsRegression) {
+  // retries 0 -> 2 cannot be expressed relatively; any growth of a
+  // better=lower metric from zero must fail.
+  const Value base = sample_manifest(1.0, 0.0);
+  const CompareReport r = compare_manifests(base, sample_manifest(1.0, 2.0));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Compare, HigherIsBetterDirection) {
+  Manifest base("unit"), worse("unit"), better("unit");
+  base.metric("tput", 100.0, Better::kHigher);
+  worse.metric("tput", 50.0, Better::kHigher);
+  better.metric("tput", 500.0, Better::kHigher);
+  EXPECT_FALSE(compare_manifests(base.to_json(), worse.to_json()).ok());
+  EXPECT_TRUE(compare_manifests(base.to_json(), better.to_json()).ok());
+}
+
+TEST(Compare, PerMetricThresholdOverride) {
+  CompareOptions opt;
+  opt.thresholds.emplace_back("stage.seconds", 1.0);  // tolerate 100%
+  const Value base = sample_manifest(1.0, 0.0);
+  EXPECT_TRUE(compare_manifests(base, sample_manifest(1.5, 0.0), opt).ok());
+  EXPECT_FALSE(compare_manifests(base, sample_manifest(2.5, 0.0), opt).ok());
+}
+
+TEST(Compare, IgnoreGlobSkipsMetric) {
+  CompareOptions opt;
+  opt.ignore.push_back("stage.*");
+  const Value base = sample_manifest(1.0, 0.0);
+  const CompareReport r =
+      compare_manifests(base, sample_manifest(100.0, 0.0), opt);
+  EXPECT_TRUE(r.ok()) << r.render();
+}
+
+TEST(Compare, GatedMetricMissingFromCurrentFails) {
+  const Value base = sample_manifest(1.0, 0.0);
+  Manifest cur("unit");
+  cur.metric("throughput", 100.0, Better::kHigher);
+  cur.metric("retries", 0.0, Better::kLower);
+  cur.metric("key_rank", 3.0, Better::kNone);
+  const CompareReport r = compare_manifests(base, cur.to_json());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Compare, InformationalMetricsNeverGate) {
+  const Value base = sample_manifest(1.0, 0.0);
+  Manifest cur("unit");
+  cur.metric("stage.seconds", 1.0, Better::kLower);
+  cur.metric("throughput", 100.0, Better::kHigher);
+  cur.metric("retries", 0.0, Better::kLower);
+  cur.metric("key_rank", 250.0, Better::kNone);  // wild change, not gated
+  EXPECT_TRUE(compare_manifests(base, cur.to_json()).ok());
+}
+
+TEST(Compare, SchemaVersionMismatchIsError) {
+  const Value base = sample_manifest(1.0, 0.0);
+  Value fake = Value::parse(R"({"schema_version": 99, "metrics": {}})");
+  const CompareReport r = compare_manifests(base, fake);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.errors.empty());
+  EXPECT_EQ(r.regressions(), 0u);  // errors, not regressions
+}
+
+TEST(Compare, GlobMatcher) {
+  EXPECT_TRUE(glob_match("stage.*", "stage.cpa.serial_s"));
+  EXPECT_TRUE(glob_match("*.seconds", "cpa.cmos.seconds"));
+  EXPECT_TRUE(glob_match("stage.*.speedup", "stage.acquire.speedup"));
+  EXPECT_TRUE(glob_match("exact", "exact"));
+  EXPECT_FALSE(glob_match("exact", "exact.not"));
+  EXPECT_FALSE(glob_match("stage.*.speedup", "stage.acquire.serial_s"));
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_FALSE(glob_match("", "x"));
+}
+
+}  // namespace
