@@ -92,6 +92,28 @@ void Manifest::section(const std::string& name, obs::json::Value value) {
 }
 
 obs::json::Value Manifest::to_json() const {
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+
+  // Result-cache effectiveness rides along automatically whenever the run
+  // touched the cache, so bench_compare can watch hit rates without each
+  // bench opting in.  Purely informational: hit rates are workload-shaped,
+  // not a regression gate.
+  obs::json::Object metrics = metrics_;
+  const std::uint64_t hits = snap.counter("cache.hit");
+  const std::uint64_t misses = snap.counter("cache.miss");
+  if (hits + misses > 0) {
+    const auto add = [&metrics](const std::string& name, double value) {
+      obs::json::Object m;
+      m.emplace_back("value", value);
+      m.emplace_back("better", to_string(Better::kNone));
+      metrics.emplace_back(name, obs::json::Value(std::move(m)));
+    };
+    add("cache.hits", static_cast<double>(hits));
+    add("cache.misses", static_cast<double>(misses));
+    add("cache.hit_rate",
+        static_cast<double>(hits) / static_cast<double>(hits + misses));
+  }
+
   obs::json::Object doc;
   doc.emplace_back("schema_version", kManifestSchemaVersion);
   doc.emplace_back("bench", name_);
@@ -102,9 +124,9 @@ obs::json::Value Manifest::to_json() const {
   doc.emplace_back("wall_s", wall_seconds() - wall_start_);
   doc.emplace_back("cpu_s", cpu_seconds() - cpu_start_);
   doc.emplace_back("peak_rss_kb", static_cast<std::uint64_t>(peak_rss_kb()));
-  doc.emplace_back("metrics", obs::json::Value(metrics_));
+  doc.emplace_back("metrics", obs::json::Value(std::move(metrics)));
   doc.emplace_back("sections", obs::json::Value(sections_));
-  doc.emplace_back("obs", obs::Registry::global().snapshot().to_json());
+  doc.emplace_back("obs", snap.to_json());
   return obs::json::Value(std::move(doc));
 }
 

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "pgmcml/cache/cache.hpp"
 #include "pgmcml/mcml/area.hpp"
 #include "pgmcml/mcml/characterize.hpp"
 #include "pgmcml/util/table.hpp"
@@ -71,6 +72,16 @@ BENCHMARK(BM_CharacterizeFullAdder)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   pgmcml::bench::Manifest manifest("table2_library");
   print_table2();
+
+  // Result-cache effectiveness (PGMCML_CACHE_DIR): on a warm run every
+  // characterization above is a hit and zero transients are solved.
+  const pgmcml::cache::ResultCache& rc = pgmcml::cache::ResultCache::global();
+  if (rc.enabled()) {
+    const pgmcml::cache::ResultCache::Stats stats = rc.stats();
+    std::printf("Result cache: %zu hits, %zu misses (hit rate %.2f)\n\n",
+                stats.hits, stats.misses, stats.hit_rate());
+  }
+
   manifest.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

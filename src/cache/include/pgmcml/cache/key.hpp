@@ -1,0 +1,89 @@
+// Content-addressed cache keys.
+//
+// A CacheKey is a stable 128-bit digest of everything that determines a
+// cached result: the canonicalized problem description (netlist / design
+// fields), the analysis options, the technology corner, the cache schema
+// version, and the git-tracked model revision.  The hash is computed with a
+// fixed, platform-independent algorithm over an explicitly little-endian
+// tagged byte stream, so a key written by one build is found by the next --
+// across runs, machines, compilers and (within one kModelRevision) commits.
+//
+// KeyBuilder is deliberately typed: every field is framed with a type tag
+// and a length before it is mixed, so `add("ab"); add("c")` and
+// `add("a"); add("bc")` produce different keys, and a double never collides
+// with the string that spells it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pgmcml::cache {
+
+/// Bump whenever the serialized payload layout of any cached result changes;
+/// every key mixes this in, so stale on-disk entries become clean misses.
+inline constexpr std::uint32_t kCacheSchemaVersion = 1;
+
+/// Bump whenever the device models, cell topologies, bias solver or
+/// characterization extraction change in a result-affecting way.  The
+/// revision is a git-tracked constant: editing it invalidates every cached
+/// characterization at the same commit that changes the physics.
+inline constexpr std::string_view kModelRevision = "pgmcml-models-2026-08-06.1";
+
+/// 128-bit content digest.
+struct CacheKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const CacheKey& other) const = default;
+
+  /// 32-hex-digit lowercase rendering; the on-disk entry file name.
+  std::string hex() const;
+};
+
+/// Accumulates typed fields into a canonical byte stream and digests it.
+///
+/// Usage:
+///   KeyBuilder kb("characterize_cell/v1");
+///   kb.add("corner", "typical").add("iss", 50e-6).add("fanout", 1);
+///   CacheKey key = kb.key();
+///
+/// The label given to add() is part of the stream, so reordering or renaming
+/// fields changes the key (deliberately: the key is the contract).
+class KeyBuilder {
+ public:
+  /// `domain` names the cached computation and its keying convention; it is
+  /// the first field of the stream.  kCacheSchemaVersion and kModelRevision
+  /// are mixed in automatically.
+  explicit KeyBuilder(std::string_view domain);
+
+  KeyBuilder& add(std::string_view label, std::string_view value);
+  /// String-literal overload: without it, `add("corner", "fast")` would
+  /// resolve to the bool overload (pointer-to-bool is a standard conversion
+  /// and outranks the conversion to string_view).
+  KeyBuilder& add(std::string_view label, const char* value);
+  KeyBuilder& add(std::string_view label, double value);   ///< by bit pattern
+  KeyBuilder& add(std::string_view label, std::uint64_t value);
+  KeyBuilder& add(std::string_view label, std::int64_t value);
+  KeyBuilder& add(std::string_view label, int value);
+  KeyBuilder& add(std::string_view label, bool value);
+
+  /// Digest of everything added so far (the builder stays usable; adding
+  /// more fields yields a new, different key).
+  CacheKey key() const;
+
+ private:
+  void append_tag(char tag, std::string_view label, std::size_t payload_size);
+  void append_bytes(const void* data, std::size_t n);
+  void append_u64(std::uint64_t v);  ///< explicit little-endian framing
+
+  std::vector<unsigned char> bytes_;
+};
+
+/// Digests an arbitrary byte buffer (MurmurHash3 x64 128-bit finalization).
+/// Exposed for tests pinning the algorithm's stability.
+CacheKey digest_bytes(const void* data, std::size_t size,
+                      std::uint64_t seed = 0);
+
+}  // namespace pgmcml::cache

@@ -1,0 +1,184 @@
+#include "pgmcml/cache/key.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace pgmcml::cache {
+
+namespace {
+
+inline std::uint64_t rotl64(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline std::uint64_t fmix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Reads 8 bytes as a little-endian u64 regardless of host endianness.
+inline std::uint64_t load_le64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+// MurmurHash3 x64 128-bit (Appleby, public domain), fed strictly through the
+// little-endian loader above so the digest is byte-order independent.
+CacheKey digest_bytes(const void* data, std::size_t size, std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const std::size_t nblocks = size / 16;
+
+  std::uint64_t h1 = seed;
+  std::uint64_t h2 = seed;
+  const std::uint64_t c1 = 0x87c37b91114253d5ULL;
+  const std::uint64_t c2 = 0x4cf5ad432745937fULL;
+
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    std::uint64_t k1 = load_le64(p + 16 * i);
+    std::uint64_t k2 = load_le64(p + 16 * i + 8);
+
+    k1 *= c1;
+    k1 = rotl64(k1, 31);
+    k1 *= c2;
+    h1 ^= k1;
+    h1 = rotl64(h1, 27);
+    h1 += h2;
+    h1 = h1 * 5 + 0x52dce729;
+
+    k2 *= c2;
+    k2 = rotl64(k2, 33);
+    k2 *= c1;
+    h2 ^= k2;
+    h2 = rotl64(h2, 31);
+    h2 += h1;
+    h2 = h2 * 5 + 0x38495ab5;
+  }
+
+  const unsigned char* tail = p + nblocks * 16;
+  std::uint64_t k1 = 0;
+  std::uint64_t k2 = 0;
+  switch (size & 15) {
+    case 15: k2 ^= std::uint64_t(tail[14]) << 48; [[fallthrough]];
+    case 14: k2 ^= std::uint64_t(tail[13]) << 40; [[fallthrough]];
+    case 13: k2 ^= std::uint64_t(tail[12]) << 32; [[fallthrough]];
+    case 12: k2 ^= std::uint64_t(tail[11]) << 24; [[fallthrough]];
+    case 11: k2 ^= std::uint64_t(tail[10]) << 16; [[fallthrough]];
+    case 10: k2 ^= std::uint64_t(tail[9]) << 8; [[fallthrough]];
+    case 9:
+      k2 ^= std::uint64_t(tail[8]);
+      k2 *= c2;
+      k2 = rotl64(k2, 33);
+      k2 *= c1;
+      h2 ^= k2;
+      [[fallthrough]];
+    case 8: k1 ^= std::uint64_t(tail[7]) << 56; [[fallthrough]];
+    case 7: k1 ^= std::uint64_t(tail[6]) << 48; [[fallthrough]];
+    case 6: k1 ^= std::uint64_t(tail[5]) << 40; [[fallthrough]];
+    case 5: k1 ^= std::uint64_t(tail[4]) << 32; [[fallthrough]];
+    case 4: k1 ^= std::uint64_t(tail[3]) << 24; [[fallthrough]];
+    case 3: k1 ^= std::uint64_t(tail[2]) << 16; [[fallthrough]];
+    case 2: k1 ^= std::uint64_t(tail[1]) << 8; [[fallthrough]];
+    case 1:
+      k1 ^= std::uint64_t(tail[0]);
+      k1 *= c1;
+      k1 = rotl64(k1, 31);
+      k1 *= c2;
+      h1 ^= k1;
+      break;
+    case 0: break;
+  }
+
+  h1 ^= static_cast<std::uint64_t>(size);
+  h2 ^= static_cast<std::uint64_t>(size);
+  h1 += h2;
+  h2 += h1;
+  h1 = fmix64(h1);
+  h2 = fmix64(h2);
+  h1 += h2;
+  h2 += h1;
+  return CacheKey{h1, h2};
+}
+
+std::string CacheKey::hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = digits[(hi >> (4 * i)) & 0xF];
+    out[31 - i] = digits[(lo >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+KeyBuilder::KeyBuilder(std::string_view domain) {
+  add("domain", domain);
+  add("cache_schema", static_cast<std::uint64_t>(kCacheSchemaVersion));
+  add("model_revision", kModelRevision);
+}
+
+void KeyBuilder::append_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void KeyBuilder::append_bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  bytes_.insert(bytes_.end(), p, p + n);
+}
+
+void KeyBuilder::append_tag(char tag, std::string_view label,
+                            std::size_t payload_size) {
+  bytes_.push_back(static_cast<unsigned char>(tag));
+  append_u64(label.size());
+  append_bytes(label.data(), label.size());
+  append_u64(payload_size);
+}
+
+KeyBuilder& KeyBuilder::add(std::string_view label, std::string_view value) {
+  append_tag('s', label, value.size());
+  append_bytes(value.data(), value.size());
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::add(std::string_view label, const char* value) {
+  return add(label, std::string_view(value));
+}
+
+KeyBuilder& KeyBuilder::add(std::string_view label, double value) {
+  append_tag('d', label, 8);
+  append_u64(std::bit_cast<std::uint64_t>(value));
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::add(std::string_view label, std::uint64_t value) {
+  append_tag('u', label, 8);
+  append_u64(value);
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::add(std::string_view label, std::int64_t value) {
+  append_tag('i', label, 8);
+  append_u64(static_cast<std::uint64_t>(value));
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::add(std::string_view label, int value) {
+  return add(label, static_cast<std::int64_t>(value));
+}
+
+KeyBuilder& KeyBuilder::add(std::string_view label, bool value) {
+  append_tag('b', label, 1);
+  bytes_.push_back(value ? 1 : 0);
+  return *this;
+}
+
+CacheKey KeyBuilder::key() const {
+  return digest_bytes(bytes_.data(), bytes_.size(), /*seed=*/0);
+}
+
+}  // namespace pgmcml::cache

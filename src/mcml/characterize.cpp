@@ -6,6 +6,7 @@
 #include <cmath>
 #include <optional>
 
+#include "pgmcml/cache/cache.hpp"
 #include "pgmcml/mcml/area.hpp"
 #include "pgmcml/mcml/bias.hpp"
 #include "pgmcml/util/parallel.hpp"
@@ -73,6 +74,106 @@ spice::TranResult run_with_retry(McmlTestbench& bench, const std::string& stage,
 }
 
 }  // namespace
+
+void add_design_to_key(cache::KeyBuilder& kb, const McmlDesign& design) {
+  kb.add("corner", spice::to_string(design.tech.corner()));
+  kb.add("iss", design.iss);
+  kb.add("vsw", design.vsw);
+  kb.add("vn", design.vn);
+  kb.add("vp", design.vp);
+  kb.add("w_pair", design.w_pair);
+  kb.add("w_tail", design.w_tail);
+  kb.add("w_load", design.w_load);
+  kb.add("l_tail", design.l_tail);
+  kb.add("drive", design.drive);
+  kb.add("gating", to_string(design.gating));
+  kb.add("network_vt", spice::to_string(design.network_vt));
+  kb.add("load_vt", spice::to_string(design.load_vt));
+  kb.add("parasitics", design.include_parasitics);
+}
+
+obs::json::Value to_json(const CellCharacterization& ch) {
+  obs::json::Object o;
+  o.emplace_back("kind", static_cast<std::int64_t>(ch.kind));
+  o.emplace_back("ok", ch.ok);
+  o.emplace_back("error", ch.error);
+  o.emplace_back("delay", ch.delay);
+  o.emplace_back("swing", ch.swing);
+  o.emplace_back("static_current", ch.static_current);
+  o.emplace_back("static_power", ch.static_power);
+  o.emplace_back("sleep_current", ch.sleep_current);
+  o.emplace_back("wake_time", ch.wake_time);
+  o.emplace_back("transistors", ch.transistors);
+  o.emplace_back("diagnostics", ch.diagnostics.to_json_value());
+  return obs::json::Value(std::move(o));
+}
+
+std::optional<CellCharacterization> characterization_from_json(
+    const obs::json::Value& v) {
+  if (!v.is_object() || v.find("delay") == nullptr ||
+      v.find("diagnostics") == nullptr) {
+    return std::nullopt;
+  }
+  try {
+    CellCharacterization ch;
+    ch.kind = static_cast<CellKind>(
+        static_cast<int>(v.number_or("kind", 0.0)));
+    ch.ok = v.at("ok").as_bool();
+    ch.error = v.string_or("error", "");
+    ch.delay = v.number_or("delay", 0.0);
+    ch.swing = v.number_or("swing", 0.0);
+    ch.static_current = v.number_or("static_current", 0.0);
+    ch.static_power = v.number_or("static_power", 0.0);
+    ch.sleep_current = v.number_or("sleep_current", 0.0);
+    ch.wake_time = v.number_or("wake_time", 0.0);
+    ch.transistors = static_cast<int>(v.number_or("transistors", 0.0));
+    ch.diagnostics = spice::FlowDiagnostics::from_json_value(
+        v.at("diagnostics"));
+    return ch;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+obs::json::Value to_json(const BufferSweepPoint& pt) {
+  obs::json::Object o;
+  o.emplace_back("ok", pt.ok);
+  o.emplace_back("error", pt.error);
+  o.emplace_back("iss", pt.iss);
+  o.emplace_back("vn", pt.vn);
+  o.emplace_back("vp", pt.vp);
+  o.emplace_back("delay_fo1", pt.delay_fo1);
+  o.emplace_back("delay_fo4", pt.delay_fo4);
+  o.emplace_back("power", pt.power);
+  o.emplace_back("area", pt.area);
+  o.emplace_back("diagnostics", pt.diagnostics.to_json_value());
+  return obs::json::Value(std::move(o));
+}
+
+std::optional<BufferSweepPoint> sweep_point_from_json(
+    const obs::json::Value& v) {
+  if (!v.is_object() || v.find("iss") == nullptr ||
+      v.find("diagnostics") == nullptr) {
+    return std::nullopt;
+  }
+  try {
+    BufferSweepPoint pt;
+    pt.ok = v.at("ok").as_bool();
+    pt.error = v.string_or("error", "");
+    pt.iss = v.number_or("iss", 0.0);
+    pt.vn = v.number_or("vn", 0.0);
+    pt.vp = v.number_or("vp", 0.0);
+    pt.delay_fo1 = v.number_or("delay_fo1", 0.0);
+    pt.delay_fo4 = v.number_or("delay_fo4", 0.0);
+    pt.power = v.number_or("power", 0.0);
+    pt.area = v.number_or("area", 0.0);
+    pt.diagnostics = spice::FlowDiagnostics::from_json_value(
+        v.at("diagnostics"));
+    return pt;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
 
 McmlTestbench::McmlTestbench(CellKind kind, const McmlDesign& design,
                              TestbenchOptions options)
@@ -234,8 +335,11 @@ util::Waveform McmlTestbench::diff_output(const spice::TranResult& tr,
   return p.plus(n.scaled(-1.0));
 }
 
-CellCharacterization characterize_cell(CellKind kind, const McmlDesign& design,
-                                       int fanout) {
+namespace {
+
+CellCharacterization characterize_cell_uncached(CellKind kind,
+                                                const McmlDesign& design,
+                                                int fanout) {
   CellCharacterization out;
   out.kind = kind;
 
@@ -326,7 +430,39 @@ CellCharacterization characterize_cell(CellKind kind, const McmlDesign& design,
   return out;
 }
 
-BufferSweepPoint characterize_buffer_at(const McmlDesign& base, double iss) {
+}  // namespace
+
+CellCharacterization characterize_cell(CellKind kind, const McmlDesign& design,
+                                       int fanout) {
+  cache::ResultCache& rc = cache::ResultCache::global();
+  // Mismatch draws come from the caller's Rng stream and are not part of the
+  // key, so perturbed designs always solve fresh (Monte-Carlo keys the draw
+  // by (seed, sample) instead; see montecarlo.cpp).
+  if (!rc.enabled() || design.mismatch_rng != nullptr) {
+    return characterize_cell_uncached(kind, design, fanout);
+  }
+
+  cache::KeyBuilder kb("mcml.characterize_cell");
+  kb.add("kind", static_cast<std::int64_t>(kind));
+  kb.add("fanout", fanout);
+  add_design_to_key(kb, design);
+  const cache::CacheKey key = kb.key();
+
+  if (std::optional<obs::json::Value> hit = rc.get(key)) {
+    if (std::optional<CellCharacterization> ch =
+            characterization_from_json(*hit)) {
+      return *std::move(ch);
+    }
+  }
+  CellCharacterization out = characterize_cell_uncached(kind, design, fanout);
+  rc.put(key, to_json(out));
+  return out;
+}
+
+namespace {
+
+BufferSweepPoint characterize_buffer_at_uncached(const McmlDesign& base,
+                                                 double iss) {
   BufferSweepPoint pt;
   pt.iss = iss;
 
@@ -388,6 +524,27 @@ BufferSweepPoint characterize_buffer_at(const McmlDesign& base, double iss) {
   const double pitches = 4.5 + 0.5 * (iss / 50e-6);
   pt.area = pitches * area.pg_pitch() * area.cell_height();
   pt.ok = true;
+  return pt;
+}
+
+}  // namespace
+
+BufferSweepPoint characterize_buffer_at(const McmlDesign& base, double iss) {
+  cache::ResultCache& rc = cache::ResultCache::global();
+  if (!rc.enabled() || base.mismatch_rng != nullptr) {
+    return characterize_buffer_at_uncached(base, iss);
+  }
+  cache::KeyBuilder kb("mcml.characterize_buffer_at");
+  add_design_to_key(kb, base);
+  kb.add("point_iss", iss);
+  const cache::CacheKey key = kb.key();
+  if (std::optional<obs::json::Value> hit = rc.get(key)) {
+    if (std::optional<BufferSweepPoint> pt = sweep_point_from_json(*hit)) {
+      return *std::move(pt);
+    }
+  }
+  BufferSweepPoint pt = characterize_buffer_at_uncached(base, iss);
+  rc.put(key, to_json(pt));
   return pt;
 }
 

@@ -3,13 +3,25 @@
 // and extracts the library figures: propagation delay, output swing, awake
 // static current, gated-off leakage, and wake-up time.  This is the engine
 // behind Table 2, Fig. 3 and the gating-topology ablation.
+//
+// Characterization results are content-cached: when the process-wide
+// pgmcml::cache::ResultCache is enabled (PGMCML_CACHE_DIR), characterize_cell
+// and characterize_buffer_at first look their full design point up by a
+// stable 128-bit key and return the stored result -- bitwise identical to a
+// fresh solve, diagnostics included -- without touching the SPICE engine.
+// Designs carrying a mismatch_rng bypass the cache (the draw is not part of
+// the key); Monte-Carlo caching keys on (seed, sample) instead, see
+// montecarlo.cpp.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "pgmcml/cache/key.hpp"
 #include "pgmcml/mcml/builder.hpp"
 #include "pgmcml/mcml/design.hpp"
+#include "pgmcml/obs/json.hpp"
 #include "pgmcml/spice/engine.hpp"
 
 namespace pgmcml::mcml {
@@ -31,8 +43,24 @@ struct CellCharacterization {
 };
 
 /// Characterizes one cell of the library at the given design point.
+/// Served from the result cache when it is enabled and the design carries
+/// no mismatch_rng; a hit skips the bias solve and every transient.
 CellCharacterization characterize_cell(CellKind kind, const McmlDesign& design,
                                        int fanout = 1);
+
+/// Appends every result-determining field of `design` -- electrical targets,
+/// sizing, gating topology, Vt flavours, technology corner -- to a cache
+/// key.  The canonical field order is part of the key contract; the
+/// mismatch_rng pointer is deliberately excluded (callers that use it must
+/// key the draw themselves or bypass the cache).
+void add_design_to_key(cache::KeyBuilder& kb, const McmlDesign& design);
+
+/// Exact JSON form of a characterization (cache payload).
+obs::json::Value to_json(const CellCharacterization& ch);
+/// Inverse of to_json; nullopt when the document does not have the expected
+/// shape (the caller treats that as a cache miss and recomputes).
+std::optional<CellCharacterization> characterization_from_json(
+    const obs::json::Value& v);
 
 /// One point of the Fig. 3 buffer design-space exploration.
 struct BufferSweepPoint {
@@ -53,8 +81,15 @@ struct BufferSweepPoint {
 
 /// Re-biases and re-characterizes the buffer at a given tail current
 /// (device widths scale with Iss above the base point, as a designer would
-/// resize the tail/pairs to keep overdrives constant).
+/// resize the tail/pairs to keep overdrives constant).  Cached per
+/// (base design, iss) point when the result cache is enabled.
 BufferSweepPoint characterize_buffer_at(const McmlDesign& base, double iss);
+
+/// Exact JSON form of a sweep point (cache payload).
+obs::json::Value to_json(const BufferSweepPoint& pt);
+/// Inverse of to_json; nullopt on an unexpected shape.
+std::optional<BufferSweepPoint> sweep_point_from_json(
+    const obs::json::Value& v);
 
 /// Characterizes the buffer at every tail current in `currents` (the Fig. 3
 /// design-space sweep).  Points are mutually independent, so they run on the

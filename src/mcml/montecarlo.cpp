@@ -2,7 +2,11 @@
 
 #include <optional>
 
+#include "pgmcml/cache/cache.hpp"
+#include "pgmcml/cache/key.hpp"
 #include "pgmcml/mcml/bias.hpp"
+#include "pgmcml/mcml/characterize.hpp"
+#include "pgmcml/obs/json.hpp"
 #include "pgmcml/util/parallel.hpp"
 #include "pgmcml/util/units.hpp"
 
@@ -21,6 +25,137 @@ struct SampleOutcome {
   double sleep_current = 0.0;
   spice::FlowDiagnostics diagnostics;
 };
+
+obs::json::Value outcome_to_json(const SampleOutcome& out) {
+  obs::json::Object o;
+  o.emplace_back("failed", out.failed);
+  o.emplace_back("delay", out.delay);
+  o.emplace_back("swing", out.swing);
+  o.emplace_back("static_current", out.static_current);
+  o.emplace_back("has_sleep", out.has_sleep);
+  o.emplace_back("sleep_current", out.sleep_current);
+  o.emplace_back("diagnostics", out.diagnostics.to_json_value());
+  return obs::json::Value(std::move(o));
+}
+
+std::optional<SampleOutcome> outcome_from_json(const obs::json::Value& v) {
+  if (!v.is_object() || v.find("delay") == nullptr ||
+      v.find("diagnostics") == nullptr) {
+    return std::nullopt;
+  }
+  try {
+    SampleOutcome out;
+    out.failed = v.at("failed").as_bool();
+    out.delay = v.number_or("delay", 0.0);
+    out.swing = v.number_or("swing", 0.0);
+    out.static_current = v.number_or("static_current", 0.0);
+    out.has_sleep = v.at("has_sleep").as_bool();
+    out.sleep_current = v.number_or("sleep_current", 0.0);
+    out.diagnostics =
+        spice::FlowDiagnostics::from_json_value(v.at("diagnostics"));
+    return out;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+/// Cache key for one Monte-Carlo sample.  The mismatch draw itself is not
+/// hashed; it is fully determined by (seed, sample index) because the
+/// per-sample streams are pre-forked in index order from master(seed), so
+/// keying the fork inputs keys the draw.
+cache::CacheKey sample_key(CellKind kind, const McmlDesign& nominal,
+                           std::uint64_t seed, std::size_t index) {
+  cache::KeyBuilder kb("mcml.monte_carlo_sample");
+  kb.add("kind", static_cast<std::int64_t>(kind));
+  add_design_to_key(kb, nominal);
+  kb.add("seed", seed);
+  kb.add("index", static_cast<std::uint64_t>(index));
+  return kb.key();
+}
+
+/// Runs one mismatch sample end to end: transient characterization with the
+/// two-attempt retry flow, plus the gated-off leakage DC when applicable.
+SampleOutcome run_sample(CellKind kind, const McmlDesign& nominal,
+                         const util::Rng& stream, std::size_t i) {
+  SampleOutcome out;
+  const std::string stage = "montecarlo:" + std::to_string(i);
+  util::Rng sample_rng = stream;
+  McmlDesign sample = nominal;
+
+  TestbenchOptions opt;
+  opt.fanout = 1;
+
+  // At most two build-and-run attempts; the retry re-copies the sample's
+  // pre-forked stream so it sees the identical mismatch draw and differs
+  // only in the tightened solver options.
+  std::optional<McmlTestbench> bench;
+  spice::TranResult tr;
+  out.diagnostics.record_attempt();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    sample_rng = stream;
+    sample = nominal;
+    sample.mismatch_rng = &sample_rng;
+    bench.emplace(kind, sample, opt);
+    tr = bench->run(/*tightened=*/attempt > 0);
+    out.diagnostics.engine.merge(tr.stats);
+    if (tr.ok) {
+      if (attempt > 0) out.diagnostics.record_recovery(stage);
+      break;
+    }
+    if (attempt == 0) {
+      out.diagnostics.record_retry(stage, tr.failure.describe());
+    } else {
+      out.diagnostics.record_skip(stage, tr.failure.describe());
+    }
+  }
+  if (!tr.ok) {
+    out.failed = true;
+    return out;
+  }
+  const util::Waveform vout = bench->diff_output(tr);
+  const auto edges = bench->stimulus_edges();
+  const std::size_t first = bench->sequential() ? 0 : 1;
+  // Average rise and fall, like the nominal characterization.
+  double delay_sum = 0.0;
+  int delay_n = 0;
+  for (std::size_t e = first; e < edges.size(); ++e) {
+    const auto cross = vout.crossing(0.0, 0, edges[e]);
+    if (cross.has_value() && *cross - edges[e] > 0 &&
+        *cross - edges[e] < 1.8e-9) {
+      delay_sum += *cross - edges[e];
+      ++delay_n;
+    }
+  }
+  if (delay_n == 0) {
+    out.failed = true;
+    return out;
+  }
+  out.delay = delay_sum / delay_n;
+  out.swing = 0.5 * (vout.max_value() - vout.min_value());
+  const util::Waveform isup = bench->supply_current(tr);
+  const double lo = bench->sequential() ? 3.6e-9 : 1.0e-9;
+  const double hi = bench->sequential() ? 4.4e-9 : 1.9e-9;
+  out.static_current = isup.average(lo, hi);
+
+  if (sample.power_gated()) {
+    util::Rng sleep_rng = sample_rng;  // same devices would need the same
+    // draw; a DC leakage estimate with a fresh draw is statistically
+    // equivalent for the distribution.
+    McmlDesign sleep_sample = nominal;
+    sleep_sample.mismatch_rng = &sleep_rng;
+    TestbenchOptions sopt;
+    sopt.asleep = true;
+    McmlTestbench sleeping(kind, sleep_sample, sopt);
+    const spice::DcResult dc = sleeping.run_dc();
+    if (dc.converged) {
+      spice::Solution sol(dc.x, sleeping.circuit().num_nodes());
+      const auto id = sleeping.circuit().find_device("VDD");
+      out.has_sleep = true;
+      out.sleep_current = -sleeping.circuit().device(id).probe_current(sol);
+    }
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -50,85 +185,21 @@ MonteCarloResult monte_carlo_characterize(CellKind kind,
   for (std::size_t i = 0; i < count; ++i) streams.push_back(master.fork());
 
   std::vector<SampleOutcome> outcomes(count);
+  cache::ResultCache& rc = cache::ResultCache::global();
   util::parallel_for(count, [&](std::size_t i) {
-    SampleOutcome& out = outcomes[i];
-    const std::string stage = "montecarlo:" + std::to_string(i);
-    util::Rng sample_rng = streams[i];
-    McmlDesign sample = nominal;
-
-    TestbenchOptions opt;
-    opt.fanout = 1;
-
-    // At most two build-and-run attempts; the retry re-copies the sample's
-    // pre-forked stream so it sees the identical mismatch draw and differs
-    // only in the tightened solver options.
-    std::optional<McmlTestbench> bench;
-    spice::TranResult tr;
-    out.diagnostics.record_attempt();
-    for (int attempt = 0; attempt < 2; ++attempt) {
-      sample_rng = streams[i];
-      sample = nominal;
-      sample.mismatch_rng = &sample_rng;
-      bench.emplace(kind, sample, opt);
-      tr = bench->run(/*tightened=*/attempt > 0);
-      out.diagnostics.engine.merge(tr.stats);
-      if (tr.ok) {
-        if (attempt > 0) out.diagnostics.record_recovery(stage);
-        break;
+    if (rc.enabled()) {
+      const cache::CacheKey key = sample_key(kind, nominal, seed, i);
+      if (std::optional<obs::json::Value> hit = rc.get(key)) {
+        if (std::optional<SampleOutcome> cached = outcome_from_json(*hit)) {
+          outcomes[i] = *std::move(cached);
+          return;
+        }
       }
-      if (attempt == 0) {
-        out.diagnostics.record_retry(stage, tr.failure.describe());
-      } else {
-        out.diagnostics.record_skip(stage, tr.failure.describe());
-      }
-    }
-    if (!tr.ok) {
-      out.failed = true;
+      outcomes[i] = run_sample(kind, nominal, streams[i], i);
+      rc.put(key, outcome_to_json(outcomes[i]));
       return;
     }
-    const util::Waveform vout = bench->diff_output(tr);
-    const auto edges = bench->stimulus_edges();
-    const std::size_t first = bench->sequential() ? 0 : 1;
-    // Average rise and fall, like the nominal characterization.
-    double delay_sum = 0.0;
-    int delay_n = 0;
-    for (std::size_t e = first; e < edges.size(); ++e) {
-      const auto cross = vout.crossing(0.0, 0, edges[e]);
-      if (cross.has_value() && *cross - edges[e] > 0 &&
-          *cross - edges[e] < 1.8e-9) {
-        delay_sum += *cross - edges[e];
-        ++delay_n;
-      }
-    }
-    if (delay_n == 0) {
-      out.failed = true;
-      return;
-    }
-    out.delay = delay_sum / delay_n;
-    out.swing = 0.5 * (vout.max_value() - vout.min_value());
-    const util::Waveform isup = bench->supply_current(tr);
-    const double lo = bench->sequential() ? 3.6e-9 : 1.0e-9;
-    const double hi = bench->sequential() ? 4.4e-9 : 1.9e-9;
-    out.static_current = isup.average(lo, hi);
-
-    if (sample.power_gated()) {
-      util::Rng sleep_rng = sample_rng;  // same devices would need the same
-      // draw; a DC leakage estimate with a fresh draw is statistically
-      // equivalent for the distribution.
-      McmlDesign sleep_sample = nominal;
-      sleep_sample.mismatch_rng = &sleep_rng;
-      TestbenchOptions sopt;
-      sopt.asleep = true;
-      McmlTestbench sleeping(kind, sleep_sample, sopt);
-      const spice::DcResult dc = sleeping.run_dc();
-      if (dc.converged) {
-        spice::Solution sol(dc.x, sleeping.circuit().num_nodes());
-        const auto id = sleeping.circuit().find_device("VDD");
-        out.has_sleep = true;
-        out.sleep_current =
-            -sleeping.circuit().device(id).probe_current(sol);
-      }
-    }
+    outcomes[i] = run_sample(kind, nominal, streams[i], i);
   });
 
   for (const SampleOutcome& out : outcomes) {

@@ -1,13 +1,18 @@
-// Minimal JSON value, parser and writer for the observability layer and the
-// bench manifests.  Deliberately tiny: objects are ordered key/value vectors
-// (insertion order is preserved and is what dump() emits), numbers are
-// doubles (integral values round-trip as integers up to 2^53), and parse()
-// rejects malformed input with a positioned error instead of guessing.  No
-// external dependencies -- this is the repo's one JSON implementation,
-// shared by Snapshot::to_json, the manifest writer and bench_compare.
+/// \file json.hpp
+/// Minimal JSON value, parser and writer for the observability layer, the
+/// bench manifests, and the on-disk result cache.  Deliberately tiny:
+/// objects are ordered key/value vectors (insertion order is preserved and
+/// is what dump() emits), numbers are doubles (integral values round-trip
+/// as integers up to 2^53; non-integral doubles are emitted with 17
+/// significant digits, so every finite double round-trips bitwise), and
+/// parse() rejects malformed input with a positioned error instead of
+/// guessing.  No external dependencies -- this is the repo's one JSON
+/// implementation, shared by Snapshot::to_json, the manifest writer,
+/// bench_compare and pgmcml::cache.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -97,5 +102,18 @@ class Value {
 
 /// Escapes and quotes `s` as a JSON string literal, appended to `out`.
 void append_quoted(std::string& out, std::string_view s);
+
+/// Reads and parses one JSON document from `path`.  Returns nullopt on any
+/// failure -- missing file, I/O error, malformed JSON -- never throws; this
+/// is the corruption-tolerant load the result cache builds on.
+std::optional<Value> load_file(const std::string& path);
+
+/// Serializes `v` (with the given indent, see Value::dump) and writes it to
+/// `path` atomically: the document lands in a temporary file in the same
+/// directory first and is then renamed over the target, so a concurrent
+/// reader sees either the old file or the complete new one, never a torn
+/// write.  Returns false on I/O failure.
+bool save_file_atomic(const std::string& path, const Value& v,
+                      int indent = -1);
 
 }  // namespace pgmcml::obs::json

@@ -1,5 +1,8 @@
 #include "pgmcml/obs/json.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -403,6 +406,44 @@ std::string Value::dump(int indent) const {
   std::string out;
   dump_to(out, indent, 0);
   return out;
+}
+
+std::optional<Value> load_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string text;
+  char buf[1 << 14];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) return std::nullopt;
+  try {
+    return Value::parse(text);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+bool save_file_atomic(const std::string& path, const Value& v, int indent) {
+  // Stage in the target's directory so the final rename cannot cross a
+  // filesystem boundary (rename(2) atomicity holds only within one fs).
+  // The pid + per-process sequence number keeps concurrent writers -- other
+  // processes and other threads -- on distinct staging files.
+  static std::atomic<std::uint64_t> sequence{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<unsigned>(::getpid())) +
+      "." + std::to_string(sequence.fetch_add(1, std::memory_order_relaxed));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string text = v.dump(indent);
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  ok = ok && std::fputc('\n', f) != EOF;
+  ok = std::fflush(f) == 0 && ok;
+  std::fclose(f);
+  if (ok) ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+  if (!ok) std::remove(tmp.c_str());
+  return ok;
 }
 
 }  // namespace pgmcml::obs::json

@@ -1,9 +1,13 @@
 #include "pgmcml/power/kernels.hpp"
 
+#include <optional>
 #include <stdexcept>
 
+#include "pgmcml/cache/cache.hpp"
+#include "pgmcml/cache/key.hpp"
 #include "pgmcml/mcml/bias.hpp"
 #include "pgmcml/mcml/characterize.hpp"
+#include "pgmcml/obs/json.hpp"
 #include "pgmcml/util/units.hpp"
 
 namespace pgmcml::power {
@@ -61,10 +65,62 @@ spice::TranResult run_kernel_bench(mcml::McmlTestbench& bench,
   return tr;
 }
 
-}  // namespace
+obs::json::Value waveform_to_json(const util::Waveform& w) {
+  obs::json::Array pts;
+  pts.reserve(w.size() * 2);
+  for (const util::Waveform::Point& p : w.points()) {
+    pts.emplace_back(p.t);
+    pts.emplace_back(p.v);
+  }
+  return obs::json::Value(std::move(pts));
+}
 
-CurrentKernels kernels_from_spice(const mcml::McmlDesign& base,
-                                  spice::FlowDiagnostics* diag) {
+util::Waveform waveform_from_json(const obs::json::Value& v) {
+  const obs::json::Array& pts = v.as_array();
+  if (pts.size() % 2 != 0) {
+    throw std::runtime_error("waveform array has odd length");
+  }
+  util::Waveform w;
+  for (std::size_t i = 0; i < pts.size(); i += 2) {
+    w.append(pts[i].as_number(), pts[i + 1].as_number());
+  }
+  return w;
+}
+
+/// Cache payload for kernels_from_spice: the four kernels plus the local
+/// diagnostics delta this call produced, so a warm hit can replay the same
+/// record into the caller's FlowDiagnostics.
+obs::json::Value kernels_to_json(const CurrentKernels& k,
+                                 const spice::FlowDiagnostics& local_diag) {
+  obs::json::Object o;
+  o.emplace_back("cmos_toggle", waveform_to_json(k.cmos_toggle));
+  o.emplace_back("mcml_switch", waveform_to_json(k.mcml_switch));
+  o.emplace_back("pg_wake", waveform_to_json(k.pg_wake));
+  o.emplace_back("pg_sleep", waveform_to_json(k.pg_sleep));
+  o.emplace_back("diagnostics", local_diag.to_json_value());
+  return obs::json::Value(std::move(o));
+}
+
+std::optional<CurrentKernels> kernels_from_json(
+    const obs::json::Value& v, spice::FlowDiagnostics* diag) {
+  if (!v.is_object() || v.find("mcml_switch") == nullptr) return std::nullopt;
+  try {
+    CurrentKernels k;
+    k.cmos_toggle = waveform_from_json(v.at("cmos_toggle"));
+    k.mcml_switch = waveform_from_json(v.at("mcml_switch"));
+    k.pg_wake = waveform_from_json(v.at("pg_wake"));
+    k.pg_sleep = waveform_from_json(v.at("pg_sleep"));
+    if (diag != nullptr) {
+      diag->merge(spice::FlowDiagnostics::from_json_value(v.at("diagnostics")));
+    }
+    return k;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+CurrentKernels kernels_from_spice_uncached(const mcml::McmlDesign& base,
+                                           spice::FlowDiagnostics* diag) {
   CurrentKernels k = default_kernels();  // fallback shapes
 
   mcml::McmlDesign design = base;
@@ -117,6 +173,38 @@ CurrentKernels kernels_from_spice(const mcml::McmlDesign& base,
       k.pg_wake = wake;
     }
   }
+  return k;
+}
+
+}  // namespace
+
+CurrentKernels kernels_from_spice(const mcml::McmlDesign& base,
+                                  spice::FlowDiagnostics* diag) {
+  cache::ResultCache& rc = cache::ResultCache::global();
+  if (!rc.enabled() || base.mismatch_rng != nullptr) {
+    return kernels_from_spice_uncached(base, diag);
+  }
+
+  // The two legacy contracts differ observably (with diag: bias failures
+  // degrade; without: they throw), so the diag mode is part of the key.
+  cache::KeyBuilder kb("power.kernels_from_spice");
+  mcml::add_design_to_key(kb, base);
+  kb.add("with_diag", diag != nullptr);
+  const cache::CacheKey key = kb.key();
+
+  if (std::optional<obs::json::Value> hit = rc.get(key)) {
+    if (std::optional<CurrentKernels> k = kernels_from_json(*hit, diag)) {
+      return *std::move(k);
+    }
+  }
+
+  // Extract into a local diagnostics object so the payload carries exactly
+  // this call's delta; merge it into the caller's afterwards.
+  spice::FlowDiagnostics local;
+  CurrentKernels k =
+      kernels_from_spice_uncached(base, diag != nullptr ? &local : nullptr);
+  rc.put(key, kernels_to_json(k, local));
+  if (diag != nullptr) diag->merge(local);
   return k;
 }
 

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "pgmcml/obs/json.hpp"
+
 namespace pgmcml::spice {
 
 /// Why a solve failed.  kNone means success.
@@ -60,6 +62,12 @@ struct EngineStats {
   std::size_t faults_injected = 0;    ///< FaultPlan injections consumed
 
   void merge(const EngineStats& other);
+
+  /// Exact field-for-field JSON object (every counter, zero or not) --
+  /// the round-trip representation the result cache persists.
+  obs::json::Value to_json_value() const;
+  /// Inverse of to_json_value (missing fields read as 0).
+  static EngineStats from_json_value(const obs::json::Value& v);
 };
 
 /// One recorded failure (or recovery) at the flow level.
@@ -96,7 +104,18 @@ struct FlowDiagnostics {
 
   /// Compact JSON object for bench output, e.g.
   /// {"attempts": 12, "retries": 1, "recovered": 1, "skipped": 0, ...}.
+  /// (A curated subset of the engine counters; see to_json_value for the
+  /// exact round-trip form.)
   std::string to_json() const;
+
+  /// Complete JSON form -- counters, incidents and the full EngineStats --
+  /// such that from_json_value(to_json_value()) == *this field for field.
+  /// This is what the result cache stores so a warm hit replays the same
+  /// diagnostics a cold run would have produced.
+  obs::json::Value to_json_value() const;
+  /// Inverse of to_json_value.  Throws on a malformed document (the cache
+  /// treats that as a corrupt entry / miss).
+  static FlowDiagnostics from_json_value(const obs::json::Value& v);
 };
 
 }  // namespace pgmcml::spice

@@ -91,6 +91,100 @@ void append_json_string(std::string& out, const std::string& s) {
 }
 }  // namespace
 
+namespace {
+
+std::uint64_t u64_field(const obs::json::Value& v, std::string_view key) {
+  return static_cast<std::uint64_t>(v.number_or(key, 0.0));
+}
+
+}  // namespace
+
+obs::json::Value EngineStats::to_json_value() const {
+  obs::json::Object o;
+  o.emplace_back("newton_iterations",
+                 static_cast<std::uint64_t>(newton_iterations));
+  o.emplace_back("newton_failures", static_cast<std::uint64_t>(newton_failures));
+  o.emplace_back("lu_factorizations",
+                 static_cast<std::uint64_t>(lu_factorizations));
+  o.emplace_back("lu_solves", static_cast<std::uint64_t>(lu_solves));
+  o.emplace_back("steps_accepted", static_cast<std::uint64_t>(steps_accepted));
+  o.emplace_back("steps_rejected", static_cast<std::uint64_t>(steps_rejected));
+  o.emplace_back("gmin_step_stages",
+                 static_cast<std::uint64_t>(gmin_step_stages));
+  o.emplace_back("source_step_stages",
+                 static_cast<std::uint64_t>(source_step_stages));
+  o.emplace_back("dt_floor_breaches",
+                 static_cast<std::uint64_t>(dt_floor_breaches));
+  o.emplace_back("gmin_boosts", static_cast<std::uint64_t>(gmin_boosts));
+  o.emplace_back("be_fallback_steps",
+                 static_cast<std::uint64_t>(be_fallback_steps));
+  o.emplace_back("recovered_steps",
+                 static_cast<std::uint64_t>(recovered_steps));
+  o.emplace_back("faults_injected",
+                 static_cast<std::uint64_t>(faults_injected));
+  return obs::json::Value(std::move(o));
+}
+
+EngineStats EngineStats::from_json_value(const obs::json::Value& v) {
+  EngineStats s;
+  s.newton_iterations = u64_field(v, "newton_iterations");
+  s.newton_failures = u64_field(v, "newton_failures");
+  s.lu_factorizations = u64_field(v, "lu_factorizations");
+  s.lu_solves = u64_field(v, "lu_solves");
+  s.steps_accepted = u64_field(v, "steps_accepted");
+  s.steps_rejected = u64_field(v, "steps_rejected");
+  s.gmin_step_stages = u64_field(v, "gmin_step_stages");
+  s.source_step_stages = u64_field(v, "source_step_stages");
+  s.dt_floor_breaches = u64_field(v, "dt_floor_breaches");
+  s.gmin_boosts = u64_field(v, "gmin_boosts");
+  s.be_fallback_steps = u64_field(v, "be_fallback_steps");
+  s.recovered_steps = u64_field(v, "recovered_steps");
+  s.faults_injected = u64_field(v, "faults_injected");
+  return s;
+}
+
+obs::json::Value FlowDiagnostics::to_json_value() const {
+  obs::json::Object o;
+  o.emplace_back("attempts", static_cast<std::uint64_t>(attempts));
+  o.emplace_back("retries", static_cast<std::uint64_t>(retries));
+  o.emplace_back("recovered", static_cast<std::uint64_t>(recovered));
+  o.emplace_back("skipped", static_cast<std::uint64_t>(skipped));
+  obs::json::Array inc;
+  for (const FlowIncident& i : incidents) {
+    obs::json::Object io;
+    io.emplace_back("stage", i.stage);
+    io.emplace_back("error", i.error);
+    io.emplace_back("recovered", i.recovered);
+    inc.emplace_back(std::move(io));
+  }
+  o.emplace_back("incidents", obs::json::Value(std::move(inc)));
+  o.emplace_back("engine", engine.to_json_value());
+  return obs::json::Value(std::move(o));
+}
+
+FlowDiagnostics FlowDiagnostics::from_json_value(const obs::json::Value& v) {
+  FlowDiagnostics d;
+  d.attempts = u64_field(v, "attempts");
+  d.retries = u64_field(v, "retries");
+  d.recovered = u64_field(v, "recovered");
+  d.skipped = u64_field(v, "skipped");
+  if (const obs::json::Value* inc = v.find("incidents")) {
+    for (const obs::json::Value& i : inc->as_array()) {
+      FlowIncident out;
+      out.stage = i.string_or("stage", "");
+      out.error = i.string_or("error", "");
+      if (const obs::json::Value* r = i.find("recovered")) {
+        out.recovered = r->as_bool();
+      }
+      d.incidents.push_back(std::move(out));
+    }
+  }
+  if (const obs::json::Value* eng = v.find("engine")) {
+    d.engine = EngineStats::from_json_value(*eng);
+  }
+  return d;
+}
+
 std::string FlowDiagnostics::to_json() const {
   std::string out = "{";
   out += "\"attempts\": " + std::to_string(attempts);

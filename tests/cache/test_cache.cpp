@@ -1,0 +1,374 @@
+// Unit tests for the content-addressed result cache: key stability and
+// invalidation, LRU behaviour, corruption tolerance, and concurrent writers
+// (threads within one process and two separate processes sharing a dir).
+#include "pgmcml/cache/cache.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pgmcml/cache/key.hpp"
+
+namespace pgmcml::cache {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test cache directory, removed on teardown.
+class CacheDir {
+ public:
+  explicit CacheDir(const std::string& tag) {
+    dir_ = fs::temp_directory_path() /
+           ("pgmcml_cache_test_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+  }
+  ~CacheDir() { fs::remove_all(dir_); }
+  std::string path() const { return dir_.string(); }
+
+ private:
+  fs::path dir_;
+};
+
+CacheOptions disk_options(const CacheDir& d, std::size_t mem_entries = 512) {
+  CacheOptions o;
+  o.enabled = true;
+  o.dir = d.path();
+  o.max_memory_entries = mem_entries;
+  return o;
+}
+
+obs::json::Value payload(double x) {
+  obs::json::Object o;
+  o.emplace_back("x", x);
+  return obs::json::Value(std::move(o));
+}
+
+// ---------------------------------------------------------------------------
+// Keys
+
+TEST(CacheKey, GoldenDigestIsStableAcrossRunsAndBuilds) {
+  // Pins the full pipeline -- tag framing, little-endian integers, double
+  // bit patterns, MurmurHash3 -- to a known value.  If this test fails, the
+  // on-disk key contract changed and kCacheSchemaVersion must be bumped.
+  KeyBuilder kb("test.golden");
+  kb.add("corner", "typical")
+      .add("iss", 50e-6)
+      .add("fanout", 1)
+      .add("gated", true);
+  EXPECT_EQ(kb.key().hex(), "64b640314521fff15ab403225bcf8725");
+}
+
+TEST(CacheKey, MurmurReferenceVector) {
+  // MurmurHash3 x64 128 of the empty input with seed 0 is all zeros by
+  // construction of the algorithm's finalization over h1 = h2 = 0.
+  const CacheKey empty = digest_bytes(nullptr, 0, 0);
+  EXPECT_EQ(empty.hi, 0u);
+  EXPECT_EQ(empty.lo, 0u);
+  // A non-empty buffer must not digest to zero.
+  const char buf[] = "pgmcml";
+  const CacheKey k = digest_bytes(buf, sizeof buf - 1, 0);
+  EXPECT_FALSE(k == empty);
+}
+
+TEST(CacheKey, SameFieldsSameKey) {
+  const auto build = [] {
+    KeyBuilder kb("domain");
+    kb.add("a", 1.5).add("b", std::uint64_t{7}).add("c", "x");
+    return kb.key();
+  };
+  EXPECT_EQ(build().hex(), build().hex());
+}
+
+TEST(CacheKey, AnyFieldChangeChangesKey) {
+  KeyBuilder base("characterize_cell");
+  base.add("corner", "typical").add("iss", 50e-6).add("fanout", 1);
+  const CacheKey k0 = base.key();
+
+  // Option change.
+  KeyBuilder kb1("characterize_cell");
+  kb1.add("corner", "typical").add("iss", 50e-6).add("fanout", 4);
+  EXPECT_FALSE(kb1.key() == k0);
+
+  // Corner change.
+  KeyBuilder kb2("characterize_cell");
+  kb2.add("corner", "fast").add("iss", 50e-6).add("fanout", 1);
+  EXPECT_FALSE(kb2.key() == k0);
+
+  // Domain change (stands in for a schema change: the version constant is
+  // mixed into the stream exactly like these fields are).
+  KeyBuilder kb3("characterize_cell/v2");
+  kb3.add("corner", "typical").add("iss", 50e-6).add("fanout", 1);
+  EXPECT_FALSE(kb3.key() == k0);
+
+  // A double differing in the last ulp changes the key: values are hashed
+  // by bit pattern, not by formatting.
+  KeyBuilder kb4("characterize_cell");
+  kb4.add("corner", "typical")
+      .add("iss", std::nextafter(50e-6, 1.0))
+      .add("fanout", 1);
+  EXPECT_FALSE(kb4.key() == k0);
+}
+
+TEST(CacheKey, FramingSeparatesAdjacentFields) {
+  // "ab"+"c" vs "a"+"bc": same concatenated bytes, different framing.
+  KeyBuilder kb1("d");
+  kb1.add("l", "ab").add("l", "c");
+  KeyBuilder kb2("d");
+  kb2.add("l", "a").add("l", "bc");
+  EXPECT_FALSE(kb1.key() == kb2.key());
+}
+
+TEST(CacheKey, HexIs32LowercaseDigits) {
+  KeyBuilder kb("d");
+  kb.add("x", 1);
+  const std::string hex = kb.key().hex();
+  ASSERT_EQ(hex.size(), 32u);
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Store behaviour
+
+TEST(ResultCache, DisabledCacheMissesSilently) {
+  ResultCache rc;
+  EXPECT_FALSE(rc.enabled());
+  KeyBuilder kb("d");
+  kb.add("x", 1);
+  rc.put(kb.key(), payload(1.0));
+  EXPECT_FALSE(rc.get(kb.key()).has_value());
+  EXPECT_EQ(rc.stats().hits, 0u);
+  EXPECT_EQ(rc.stats().misses, 0u);
+}
+
+TEST(ResultCache, PutThenGetRoundTripsPayload) {
+  CacheDir dir("roundtrip");
+  ResultCache rc(disk_options(dir));
+  KeyBuilder kb("d");
+  kb.add("x", 1);
+  const CacheKey key = kb.key();
+  const double value = 0.1 + 0.2;  // not exactly representable as text naively
+  rc.put(key, payload(value));
+
+  // Memory hit.
+  auto hit = rc.get(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->number_or("x", 0.0), value);
+
+  // Disk hit: drop the memory front, forcing the on-disk JSON path; the
+  // double must come back bitwise identical.
+  rc.clear_memory();
+  hit = rc.get(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->number_or("x", 0.0), value);
+  EXPECT_EQ(rc.stats().hits, 2u);
+}
+
+TEST(ResultCache, MissOnAbsentKey) {
+  CacheDir dir("miss");
+  ResultCache rc(disk_options(dir));
+  KeyBuilder kb("d");
+  kb.add("x", 42);
+  EXPECT_FALSE(rc.get(kb.key()).has_value());
+  EXPECT_EQ(rc.stats().misses, 1u);
+}
+
+TEST(ResultCache, LruEvictsBeyondCapacityButDiskStillServes) {
+  CacheDir dir("lru");
+  ResultCache rc(disk_options(dir, /*mem_entries=*/4));
+  std::vector<CacheKey> keys;
+  for (int i = 0; i < 8; ++i) {
+    KeyBuilder kb("d");
+    kb.add("i", i);
+    keys.push_back(kb.key());
+    rc.put(keys.back(), payload(i));
+  }
+  EXPECT_EQ(rc.stats().evictions, 4u);
+  // Every entry is still retrievable: the oldest from disk, the newest from
+  // memory.
+  for (int i = 0; i < 8; ++i) {
+    auto hit = rc.get(keys[i]);
+    ASSERT_TRUE(hit.has_value()) << "entry " << i;
+    EXPECT_EQ(hit->number_or("x", -1.0), static_cast<double>(i));
+  }
+}
+
+TEST(ResultCache, MemoryOnlyCacheWorksWithoutDir) {
+  CacheOptions o;
+  o.enabled = true;  // no dir: memory-only
+  ResultCache rc(o);
+  KeyBuilder kb("d");
+  kb.add("x", 1);
+  rc.put(kb.key(), payload(3.5));
+  auto hit = rc.get(kb.key());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->number_or("x", 0.0), 3.5);
+  rc.clear_memory();
+  EXPECT_FALSE(rc.get(kb.key()).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption tolerance
+
+TEST(ResultCache, TruncatedEntryIsACountedMissNotACrash) {
+  CacheDir dir("truncated");
+  ResultCache rc(disk_options(dir));
+  KeyBuilder kb("d");
+  kb.add("x", 1);
+  const CacheKey key = kb.key();
+  rc.put(key, payload(1.0));
+  rc.clear_memory();
+
+  // Truncate the entry file mid-document.
+  const std::string path = dir.path() + "/" + key.hex() + ".json";
+  ASSERT_TRUE(fs::exists(path));
+  fs::resize_file(path, 5);
+
+  EXPECT_FALSE(rc.get(key).has_value());
+  EXPECT_EQ(rc.stats().corrupt, 1u);
+
+  // The slot is re-usable: a fresh put repairs it.
+  rc.put(key, payload(2.0));
+  rc.clear_memory();
+  auto hit = rc.get(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->number_or("x", 0.0), 2.0);
+}
+
+TEST(ResultCache, GarbageAndWrongKeyEntriesAreMisses) {
+  CacheDir dir("garbage");
+  ResultCache rc(disk_options(dir));
+  KeyBuilder kb("d");
+  kb.add("x", 1);
+  const CacheKey key = kb.key();
+  const std::string path = dir.path() + "/" + key.hex() + ".json";
+
+  // Valid JSON, wrong shape.
+  {
+    std::ofstream f(path);
+    f << "[1, 2, 3]\n";
+  }
+  EXPECT_FALSE(rc.get(key).has_value());
+
+  // Binary garbage.
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write("\x00\xff\xfe{{{", 6);
+  }
+  EXPECT_FALSE(rc.get(key).has_value());
+
+  // A well-formed envelope whose recorded key belongs to different content
+  // (e.g. a file renamed by hand) must be rejected, not served.
+  {
+    std::ofstream f(path);
+    f << "{\"cache_schema\": 1, \"key\": "
+         "\"00000000000000000000000000000000\", \"payload\": {\"x\": 9}}\n";
+  }
+  EXPECT_FALSE(rc.get(key).has_value());
+  EXPECT_GE(rc.stats().corrupt, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency
+
+TEST(ResultCache, ConcurrentThreadsPutAndGetWithoutTornEntries) {
+  CacheDir dir("threads");
+  ResultCache rc(disk_options(dir, /*mem_entries=*/16));
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 32;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rc] {
+      for (int i = 0; i < kKeys; ++i) {
+        KeyBuilder kb("d");
+        kb.add("i", i);
+        const CacheKey key = kb.key();
+        rc.put(key, payload(i));  // all writers agree on the content
+        auto hit = rc.get(key);
+        if (hit.has_value()) {
+          EXPECT_EQ(hit->number_or("x", -1.0), static_cast<double>(i));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // After the storm every entry reads back complete from disk.
+  rc.clear_memory();
+  for (int i = 0; i < kKeys; ++i) {
+    KeyBuilder kb("d");
+    kb.add("i", i);
+    auto hit = rc.get(kb.key());
+    ASSERT_TRUE(hit.has_value()) << "entry " << i;
+    EXPECT_EQ(hit->number_or("x", -1.0), static_cast<double>(i));
+  }
+}
+
+TEST(ResultCache, TwoProcessesSharingADirectoryStayConsistent) {
+  CacheDir dir("fork");
+  constexpr int kKeys = 24;
+
+  // Two child processes hammer the same keys with the same content -- the
+  // CI pattern of a cache-restore step racing a warm bench run.  Atomic
+  // rename-on-write means the parent can only ever observe complete
+  // entries.
+  std::vector<pid_t> children;
+  for (int c = 0; c < 2; ++c) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      ResultCache child_rc(disk_options(dir, /*mem_entries=*/4));
+      for (int round = 0; round < 4; ++round) {
+        for (int i = 0; i < kKeys; ++i) {
+          KeyBuilder kb("d");
+          kb.add("i", i);
+          child_rc.put(kb.key(), payload(i));
+        }
+      }
+      ::_exit(0);
+    }
+    children.push_back(pid);
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+
+  ResultCache rc(disk_options(dir));
+  for (int i = 0; i < kKeys; ++i) {
+    KeyBuilder kb("d");
+    kb.add("i", i);
+    auto hit = rc.get(kb.key());
+    ASSERT_TRUE(hit.has_value()) << "entry " << i;
+    EXPECT_EQ(hit->number_or("x", -1.0), static_cast<double>(i));
+  }
+  EXPECT_EQ(rc.stats().corrupt, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+
+TEST(ResultCache, UncreatableDirDegradesToMemoryOnly) {
+  CacheOptions o;
+  o.enabled = true;
+  o.dir = "/proc/definitely/not/creatable";
+  ResultCache rc(o);
+  EXPECT_TRUE(rc.enabled());
+  KeyBuilder kb("d");
+  kb.add("x", 1);
+  rc.put(kb.key(), payload(1.0));
+  EXPECT_TRUE(rc.get(kb.key()).has_value());
+}
+
+}  // namespace
+}  // namespace pgmcml::cache
