@@ -23,13 +23,13 @@ namespace pgmcml::cache {
 
 /// Bump whenever the serialized payload layout of any cached result changes;
 /// every key mixes this in, so stale on-disk entries become clean misses.
-inline constexpr std::uint32_t kCacheSchemaVersion = 1;
+inline constexpr std::uint32_t kCacheSchemaVersion = 2;
 
 /// Bump whenever the device models, cell topologies, bias solver or
 /// characterization extraction change in a result-affecting way.  The
 /// revision is a git-tracked constant: editing it invalidates every cached
 /// characterization at the same commit that changes the physics.
-inline constexpr std::string_view kModelRevision = "pgmcml-models-2026-08-06.1";
+inline constexpr std::string_view kModelRevision = "pgmcml-models-2026-08-08.1";
 
 /// 128-bit content digest.
 struct CacheKey {

@@ -14,6 +14,12 @@ using spice::SourceSpec;
 
 double replica_tail_current(const McmlDesign& design, double vn,
                             double v_common) {
+  spice::NewtonWorkspace ws;
+  return replica_tail_current(design, vn, v_common, ws);
+}
+
+double replica_tail_current(const McmlDesign& design, double vn,
+                            double v_common, spice::NewtonWorkspace& ws) {
   Circuit c;
   const NodeId vdd = c.node("vdd");
   const NodeId cs = c.node("cs");
@@ -41,7 +47,7 @@ double replica_tail_current(const McmlDesign& design, double vn,
   } else {
     c.add_mosfet("MT", cs, vnn, c.gnd(), c.gnd(), tail);
   }
-  const DcResult dc = dc_operating_point(c);
+  const DcResult dc = dc_operating_point(c, {}, ws);
   if (!dc.converged) return 0.0;
   spice::Solution sol(dc.x, c.num_nodes());
   // The clamp delivers the tail current, so its MNA branch probes negative;
@@ -51,6 +57,12 @@ double replica_tail_current(const McmlDesign& design, double vn,
 }
 
 double replica_buffer_swing(const McmlDesign& design, double vn, double vp) {
+  spice::NewtonWorkspace ws;
+  return replica_buffer_swing(design, vn, vp, ws);
+}
+
+double replica_buffer_swing(const McmlDesign& design, double vn, double vp,
+                            spice::NewtonWorkspace& ws) {
   Circuit c;
   McmlDesign d = design;
   d.vn = vn;
@@ -73,13 +85,18 @@ double replica_buffer_swing(const McmlDesign& design, double vn, double vp) {
   c.add_vsource("VINP", in.p, c.gnd(), SourceSpec::dc(d.v_high()));
   c.add_vsource("VINN", in.n, c.gnd(), SourceSpec::dc(d.v_low()));
   const DiffNet out = b.buffer_stage(in);
-  const DcResult dc = dc_operating_point(c);
+  const DcResult dc = dc_operating_point(c, {}, ws);
   if (!dc.converged) return 0.0;
   return dc.v(c, out.p) - dc.v(c, out.n);
 }
 
 BiasResult solve_bias(McmlDesign& design) {
   BiasResult result;
+  // One workspace per replica topology: every evaluation inside a bisection
+  // solves the same structure, so the symbolic analysis runs exactly once
+  // per bisection and every later solve is a numeric refactorization.
+  spice::NewtonWorkspace tail_ws;
+  spice::NewtonWorkspace swing_ws;
 
   // --- Vn by bisection on the replica tail current -------------------------
   // For the body-bias topology Vn is a bulk voltage spanning forward and
@@ -88,13 +105,13 @@ BiasResult solve_bias(McmlDesign& design) {
   const bool body = design.gating == GatingTopology::kBodyBias;
   double lo = body ? -0.5 : 0.05;
   double hi = body ? 1.0 : design.tech.vdd();
-  if (replica_tail_current(design, hi) < target) {
+  if (replica_tail_current(design, hi, 0.3, tail_ws) < target) {
     result.error = "tail cannot deliver the requested Iss even at Vn = Vdd";
     return result;
   }
   for (int i = 0; i < 60; ++i) {
     const double mid = 0.5 * (lo + hi);
-    const double id = replica_tail_current(design, mid);
+    const double id = replica_tail_current(design, mid, 0.3, tail_ws);
     if (id < target) {
       lo = mid;
     } else {
@@ -102,7 +119,7 @@ BiasResult solve_bias(McmlDesign& design) {
     }
   }
   const double vn = 0.5 * (lo + hi);
-  result.achieved_iss = replica_tail_current(design, vn);
+  result.achieved_iss = replica_tail_current(design, vn, 0.3, tail_ws);
 
   // --- Vp by bracketed bisection on the buffer swing ------------------------
   // Raising Vp weakens the PMOS load (higher R) and increases the swing --
@@ -113,9 +130,9 @@ BiasResult solve_bias(McmlDesign& design) {
   double vp_lo = 0.0;
   double vp_hi = -1.0;
   double prev_vp = 0.0;
-  double prev_swing = replica_buffer_swing(design, vn, 0.0);
+  double prev_swing = replica_buffer_swing(design, vn, 0.0, swing_ws);
   for (double vp = 0.05; vp <= design.tech.vdd() - 0.1; vp += 0.05) {
-    const double sw = replica_buffer_swing(design, vn, vp);
+    const double sw = replica_buffer_swing(design, vn, vp, swing_ws);
     if (prev_swing < design.vsw && sw >= design.vsw) {
       vp_lo = prev_vp;
       vp_hi = vp;
@@ -131,7 +148,7 @@ BiasResult solve_bias(McmlDesign& design) {
   }
   for (int i = 0; i < 50; ++i) {
     const double mid = 0.5 * (vp_lo + vp_hi);
-    const double sw = replica_buffer_swing(design, vn, mid);
+    const double sw = replica_buffer_swing(design, vn, mid, swing_ws);
     if (sw < design.vsw) {
       vp_lo = mid;
     } else {
@@ -139,7 +156,7 @@ BiasResult solve_bias(McmlDesign& design) {
     }
   }
   const double vp = 0.5 * (vp_lo + vp_hi);
-  result.achieved_vsw = replica_buffer_swing(design, vn, vp);
+  result.achieved_vsw = replica_buffer_swing(design, vn, vp, swing_ws);
 
   result.vn = vn;
   result.vp = vp;

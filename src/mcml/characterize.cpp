@@ -306,11 +306,11 @@ spice::TranResult McmlTestbench::run(bool tightened) {
     opt.dt_max *= 0.5;
     opt.max_newton *= 2;
   }
-  return spice::transient(circuit_, t_stop_, opt);
+  return spice::transient(circuit_, t_stop_, opt, workspace_);
 }
 
 spice::DcResult McmlTestbench::run_dc() {
-  return spice::dc_operating_point(circuit_);
+  return spice::dc_operating_point(circuit_, {}, workspace_);
 }
 
 util::Waveform McmlTestbench::supply_current(

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "pgmcml/mcml/design.hpp"
+#include "pgmcml/spice/engine.hpp"
 
 namespace pgmcml::mcml {
 
@@ -33,5 +34,15 @@ double replica_tail_current(const McmlDesign& design, double vn,
 
 /// Output swing of a DC-driven buffer at a given (vn, vp).
 double replica_buffer_swing(const McmlDesign& design, double vn, double vp);
+
+/// Workspace-reusing variants.  Each bisection in solve_bias evaluates the
+/// same replica topology dozens of times; sharing a workspace lets every
+/// evaluation after the first skip the symbolic analysis and reuse the
+/// solver's buffers (the replica circuit itself is still rebuilt, but the
+/// expensive part of the solve is structure-keyed, not circuit-keyed).
+double replica_tail_current(const McmlDesign& design, double vn,
+                            double v_common, spice::NewtonWorkspace& ws);
+double replica_buffer_swing(const McmlDesign& design, double vn, double vp,
+                            spice::NewtonWorkspace& ws);
 
 }  // namespace pgmcml::mcml

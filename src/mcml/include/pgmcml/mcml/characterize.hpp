@@ -117,7 +117,10 @@ class McmlTestbench {
 
   /// Runs a transient over the standard stimulus window.  `tightened`
   /// re-runs with halved dt_max and a doubled Newton budget — the one-shot
-  /// retry flow layers issue after a failed first attempt.
+  /// retry flow layers issue after a failed first attempt.  All solves of
+  /// one testbench share its Newton workspace: the circuit topology is
+  /// fixed at construction, so the retry (and any DC check) reuses the
+  /// first run's symbolic analysis.
   spice::TranResult run(bool tightened = false);
   /// DC solve only (for leakage / swing checks).
   spice::DcResult run_dc();
@@ -142,6 +145,7 @@ class McmlTestbench {
              const TestbenchOptions& options);
 
   spice::Circuit circuit_;
+  spice::NewtonWorkspace workspace_;
   McmlDesign design_;
   std::vector<DiffNet> outputs_;
   DiffNet toggle_in_;

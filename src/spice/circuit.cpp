@@ -40,6 +40,10 @@ Resistor::Resistor(std::string name, NodeId a, NodeId b, double ohms)
 
 void Resistor::stamp(StampContext& ctx) { ctx.conductance(a_, b_, 1.0 / r_); }
 
+void Resistor::stamp_pattern(StampPatternBuilder& pat) const {
+  pat.conductance(a_, b_);
+}
+
 double Resistor::probe_current(const Solution& x, double /*t*/) const {
   return (x.v(a_) - x.v(b_)) / r_;
 }
@@ -82,6 +86,12 @@ void Capacitor::stamp(StampContext& ctx) {
   ctx.current(a_, b_, ieq_);
 }
 
+void Capacitor::stamp_pattern(StampPatternBuilder& pat) const {
+  // DC (gmin leak) and transient (companion conductance) touch the same
+  // four entries, so one declaration covers both stamp() branches.
+  pat.conductance(a_, b_);
+}
+
 void Capacitor::commit(const Solution& x, double t, double dt) {
   (void)t;
   if (dt <= 0.0) {
@@ -112,16 +122,14 @@ VoltageSource::VoltageSource(std::string name, NodeId pos, NodeId neg,
     : Device(std::move(name)), pos_(pos), neg_(neg), spec_(std::move(spec)) {}
 
 void VoltageSource::stamp(StampContext& ctx) {
-  const std::size_t br = ctx.branch_index(branch_);
-  if (ctx.node_valid(pos_)) {
-    ctx.A.at(ctx.node_index(pos_), br) += 1.0;
-    ctx.A.at(br, ctx.node_index(pos_)) += 1.0;
-  }
-  if (ctx.node_valid(neg_)) {
-    ctx.A.at(ctx.node_index(neg_), br) -= 1.0;
-    ctx.A.at(br, ctx.node_index(neg_)) -= 1.0;
-  }
-  ctx.b[br] += ctx.source_scale * spec_.value(ctx.t);
+  ctx.incidence(pos_, branch_, 1.0);
+  ctx.incidence(neg_, branch_, -1.0);
+  ctx.rhs_branch(branch_, ctx.source_scale * spec_.value(ctx.t));
+}
+
+void VoltageSource::stamp_pattern(StampPatternBuilder& pat) const {
+  pat.incidence(pos_, branch_);
+  pat.incidence(neg_, branch_);
 }
 
 double VoltageSource::probe_current(const Solution& x, double /*t*/) const {
@@ -138,6 +146,10 @@ void CurrentSource::stamp(StampContext& ctx) {
   // SPICE convention: positive value flows from pos, through the source,
   // into neg (i.e. it is extracted from node pos).
   ctx.current(pos_, neg_, ctx.source_scale * spec_.value(ctx.t));
+}
+
+void CurrentSource::stamp_pattern(StampPatternBuilder& /*pat*/) const {
+  // RHS-only device: no Jacobian entries.
 }
 
 double CurrentSource::probe_current(const Solution& x, double t) const {
@@ -214,6 +226,20 @@ void Mosfet::stamp(StampContext& ctx) {
   // Convergence aid: gmin from drain and source to ground.
   ctx.add(d_, d_, ctx.gmin);
   ctx.add(s_, s_, ctx.gmin);
+}
+
+void Mosfet::stamp_pattern(StampPatternBuilder& pat) const {
+  // Must match both Mosfet::stamp and the MosfetBank scatter order.
+  pat.entry(d_, g_);
+  pat.entry(d_, d_);
+  pat.entry(d_, b_);
+  pat.entry(d_, s_);
+  pat.entry(s_, g_);
+  pat.entry(s_, d_);
+  pat.entry(s_, b_);
+  pat.entry(s_, s_);
+  pat.entry(d_, d_);  // gmin
+  pat.entry(s_, s_);  // gmin
 }
 
 void Mosfet::commit(const Solution& x, double t, double dt) {
@@ -331,6 +357,82 @@ void Circuit::finalize() {
       offset += static_cast<std::size_t>(dev->extra_unknowns());
     }
   }
+
+  // --- discovery: every device declares its stamp coordinates, recorded in
+  // the exact order stamp() will consume slots.
+  StampPatternBuilder pat(num_nodes());
+  plan_ = StampPlan{};
+  plan_.device_slots.reserve(devices_.size() + 1);
+  plan_.device_slots.push_back(0);
+  plan_.banked.assign(devices_.size(), 0);
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    devices_[i]->stamp_pattern(pat);
+    plan_.device_slots.push_back(
+        static_cast<std::uint32_t>(pat.coords().size()));
+  }
+
+  // --- CSC pattern: unique valid coordinates sorted by (col, row).
+  const auto& coords = pat.coords();
+  const std::size_t n = num_unknowns();
+  std::vector<std::pair<std::int32_t, std::int32_t>> unique_cr;  // (col, row)
+  unique_cr.reserve(coords.size());
+  for (const auto& [r, c] : coords) {
+    if (r >= 0) unique_cr.emplace_back(c, r);
+  }
+  std::sort(unique_cr.begin(), unique_cr.end());
+  unique_cr.erase(std::unique(unique_cr.begin(), unique_cr.end()),
+                  unique_cr.end());
+  plan_.pattern.n = n;
+  plan_.pattern.col_ptr.assign(n + 1, 0);
+  plan_.pattern.rows.reserve(unique_cr.size());
+  for (const auto& [c, r] : unique_cr) {
+    plan_.pattern.rows.push_back(r);
+    ++plan_.pattern.col_ptr[c + 1];
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    plan_.pattern.col_ptr[c + 1] += plan_.pattern.col_ptr[c];
+  }
+  plan_.digest = plan_.pattern.digest();
+
+  // --- slots: each recorded coordinate resolves to its CSC index; absorbed
+  // entries share the trash slot one past the end.
+  const auto trash = static_cast<std::int32_t>(plan_.trash_slot());
+  plan_.slots.reserve(coords.size());
+  for (const auto& [r, c] : coords) {
+    if (r < 0) {
+      plan_.slots.push_back(trash);
+      continue;
+    }
+    const auto it = std::lower_bound(unique_cr.begin(), unique_cr.end(),
+                                     std::make_pair(c, r));
+    plan_.slots.push_back(
+        static_cast<std::int32_t>(it - unique_cr.begin()));
+  }
+
+  // --- MOSFET bank: SoA gather of the dominant device class, bank order =
+  // device order, slot runs shared with the virtual path's plan.
+  auto x_index = [](NodeId node) -> std::int32_t {
+    return node == kGround ? -1 : node - 1;
+  };
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const auto* mos = dynamic_cast<const Mosfet*>(devices_[i].get());
+    if (mos == nullptr) continue;
+    plan_.banked[i] = 1;
+    const std::vector<NodeId> t = mos->terminals();  // d, g, s, b
+    plan_.bank.params.push_back(mos->params());
+    plan_.bank.vd.push_back(x_index(t[0]));
+    plan_.bank.vg.push_back(x_index(t[1]));
+    plan_.bank.vs.push_back(x_index(t[2]));
+    plan_.bank.vb.push_back(x_index(t[3]));
+    plan_.bank.rd.push_back(x_index(t[0]));
+    plan_.bank.rs.push_back(x_index(t[2]));
+    for (std::uint32_t s = plan_.device_slots[i]; s < plan_.device_slots[i + 1];
+         ++s) {
+      plan_.bank.slot.push_back(plan_.slots[s]);
+    }
+    plan_.bank.device.push_back(static_cast<DeviceId>(i));
+  }
+
   finalized_ = true;
 }
 

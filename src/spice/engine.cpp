@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <limits>
+#include <span>
 #include <stdexcept>
 
 #include "pgmcml/obs/obs.hpp"
@@ -14,6 +15,7 @@ namespace pgmcml::spice {
 namespace {
 
 std::atomic<std::size_t> g_workspace_allocations{0};
+std::atomic<int> g_default_backend{static_cast<int>(SolverBackend::kSparse)};
 
 /// Folds one analysis' effort counters into the global observability
 /// registry.  Handles are hoisted into function-local statics (one mutexed
@@ -22,14 +24,19 @@ void publish_engine_stats(const EngineStats& s) {
   auto& reg = obs::Registry::global();
   static struct Handles {
     obs::Counter newton_iterations, newton_failures, lu_factorizations,
-        lu_solves, steps_accepted, steps_rejected, gmin_step_stages,
+        lu_factorization_failures, lu_solves, symbolic_analyses,
+        numeric_refactors, steps_accepted, steps_rejected, gmin_step_stages,
         source_step_stages, dt_floor_breaches, gmin_boosts, be_fallback_steps,
         recovered_steps, faults_injected;
     explicit Handles(obs::Registry& r)
         : newton_iterations(r.counter("spice.newton_iterations")),
           newton_failures(r.counter("spice.newton_failures")),
           lu_factorizations(r.counter("spice.lu_factorizations")),
+          lu_factorization_failures(
+              r.counter("spice.lu_factorization_failures")),
           lu_solves(r.counter("spice.lu_solves")),
+          symbolic_analyses(r.counter("spice.symbolic_analyses")),
+          numeric_refactors(r.counter("spice.numeric_refactors")),
           steps_accepted(r.counter("spice.steps_accepted")),
           steps_rejected(r.counter("spice.steps_rejected")),
           gmin_step_stages(r.counter("spice.gmin_step_stages")),
@@ -43,7 +50,10 @@ void publish_engine_stats(const EngineStats& s) {
   c.newton_iterations.add(s.newton_iterations);
   c.newton_failures.add(s.newton_failures);
   c.lu_factorizations.add(s.lu_factorizations);
+  c.lu_factorization_failures.add(s.lu_factorization_failures);
   c.lu_solves.add(s.lu_solves);
+  c.symbolic_analyses.add(s.symbolic_analyses);
+  c.numeric_refactors.add(s.numeric_refactors);
   c.steps_accepted.add(s.steps_accepted);
   c.steps_rejected.add(s.steps_rejected);
   c.gmin_step_stages.add(s.gmin_step_stages);
@@ -67,18 +77,152 @@ void publish_sweep_stats(const std::vector<DcResult>& results) {
   points_counter.add(results.size());
 }
 
-/// Sizes the workspace for an n-unknown system.  Only counts (and pays for)
-/// an allocation when the dimension actually changes, so calling this at the
-/// top of every solve is free in steady state.
-void prepare_workspace(NewtonWorkspace& ws, std::size_t n) {
-  if (ws.a.rows() != n || ws.a.cols() != n) {
-    ws.a.resize(n, n);
+/// Sizes the workspace for a circuit's stamp plan and primes the per-backend
+/// structures.  Only counts (and pays for) an allocation when the topology
+/// actually changes, so calling this at the top of every solve is free in
+/// steady state; in particular, a workspace that already holds the symbolic
+/// analysis for this pattern keeps it.
+void prepare_workspace(NewtonWorkspace& ws, std::size_t n,
+                       const StampPlan& plan, SolverBackend backend,
+                       EngineStats& stats) {
+  bool reallocated = false;
+  if (ws.b.size() != n) {
     ws.b.assign(n, 0.0);
     ws.x_new.assign(n, 0.0);
+    reallocated = true;
+  }
+  if (ws.values.size() != plan.values_size()) {
+    ws.values.assign(plan.values_size(), 0.0);
+    reallocated = true;
+  }
+  if (ws.pattern_digest != plan.digest || !ws.analyzed) {
+    // New topology for this workspace: the symbolic analysis and the dense
+    // scatter target are both pattern-keyed, so both are invalidated.
+    ws.pattern_digest = plan.digest;
+    ws.analyzed = false;
+    ws.dense_ready = false;
+  }
+  if (backend == SolverBackend::kSparse && !ws.analyzed) {
+    ws.sparse.analyze(plan.pattern);
+    ws.analyzed = true;
+    ++stats.symbolic_analyses;
+    reallocated = true;
+  }
+  if (backend == SolverBackend::kDense &&
+      (!ws.dense_ready || ws.a.rows() != n || ws.a.cols() != n)) {
+    // Zero once per topology; per-iteration scatter overwrites exactly the
+    // pattern entries, so off-pattern entries stay zero forever.
+    ws.a.resize(n, n);
+    ws.a.fill(0.0);
+    ws.dense_ready = true;
+    reallocated = true;
+  }
+  const std::size_t nmos = plan.bank.size();
+  if (ws.mos_vgs_iter.size() != nmos) {
+    ws.mos_vgs_iter.assign(nmos, 0.0);
+    ws.mos_vds_iter.assign(nmos, 0.0);
+    ws.mos_have_iter.assign(nmos, 0);
+    ws.mos_vgs.assign(nmos, 0.0);
+    ws.mos_vds.assign(nmos, 0.0);
+    ws.mos_vbs.assign(nmos, 0.0);
+    ws.mos_id.assign(nmos, 0.0);
+    ws.mos_gm.assign(nmos, 0.0);
+    ws.mos_gds.assign(nmos, 0.0);
+    ws.mos_gmb.assign(nmos, 0.0);
+    reallocated = true;
+  }
+  if (reallocated) {
     g_workspace_allocations.fetch_add(1, std::memory_order_relaxed);
     static obs::Counter realloc_counter =
         obs::Registry::global().counter("spice.workspace_reallocations");
     realloc_counter.add(1);
+  }
+}
+
+/// SPICE-style per-iteration voltage limiting (same constant and behaviour
+/// as Mosfet::limited on the virtual path).
+double limited_step(double v_new, double v_old) {
+  constexpr double kMaxStep = 0.3;
+  const double delta = v_new - v_old;
+  if (delta > kMaxStep) return v_old + kMaxStep;
+  if (delta < -kMaxStep) return v_old - kMaxStep;
+  return v_new;
+}
+
+/// Batched MOSFET stamping: gather terminal voltages and apply NR limiting,
+/// evaluate every device in one flat pass over the bank's contiguous arrays
+/// (the auto-vectorizable hot loop), then scatter conductances into the
+/// sparse value array by precomputed slot and currents into the RHS.
+/// Bitwise-identical to running Mosfet::stamp per device in device order.
+void stamp_mosfet_bank(const MosfetBank& bank, NewtonWorkspace& ws,
+                       const std::vector<double>& x, double gmin,
+                       bool first_iteration) {
+  const std::size_t m = bank.size();
+  if (m == 0) return;
+  auto v_at = [&x](std::int32_t idx) { return idx < 0 ? 0.0 : x[idx]; };
+
+  // Gather + limit.
+  for (std::size_t i = 0; i < m; ++i) {
+    const double vs = v_at(bank.vs[i]);
+    double vgs = v_at(bank.vg[i]) - vs;
+    double vds = v_at(bank.vd[i]) - vs;
+    const double vbs = v_at(bank.vb[i]) - vs;
+    if (ws.mos_have_iter[i] != 0 && !first_iteration) {
+      vgs = limited_step(vgs, ws.mos_vgs_iter[i]);
+      vds = limited_step(vds, ws.mos_vds_iter[i]);
+    }
+    ws.mos_vgs_iter[i] = vgs;
+    ws.mos_vds_iter[i] = vds;
+    ws.mos_have_iter[i] = 1;
+    ws.mos_vgs[i] = vgs;
+    ws.mos_vds[i] = vds;
+    ws.mos_vbs[i] = vbs;
+  }
+
+  // Batch evaluation: one pass over contiguous SoA arrays.
+  for (std::size_t i = 0; i < m; ++i) {
+    const MosEval e =
+        mos_eval(bank.params[i], ws.mos_vgs[i], ws.mos_vds[i], ws.mos_vbs[i]);
+    ws.mos_id[i] = e.id;
+    ws.mos_gm[i] = e.gm;
+    ws.mos_gds[i] = e.gds;
+    ws.mos_gmb[i] = e.gmb;
+  }
+
+  // Scatter by slot (same entry order as Mosfet::stamp).
+  double* values = ws.values.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double gm = ws.mos_gm[i];
+    const double gds = ws.mos_gds[i];
+    const double gmb = ws.mos_gmb[i];
+    const double gsum = gm + gds + gmb;
+    const double ieq = ws.mos_id[i] - gm * ws.mos_vgs[i] -
+                       gds * ws.mos_vds[i] - gmb * ws.mos_vbs[i];
+    const std::int32_t* sl = bank.slot.data() + 10 * i;
+    values[sl[0]] += gm;
+    values[sl[1]] += gds;
+    values[sl[2]] += gmb;
+    values[sl[3]] += -gsum;
+    values[sl[4]] += -gm;
+    values[sl[5]] += -gds;
+    values[sl[6]] += -gmb;
+    values[sl[7]] += gsum;
+    values[sl[8]] += gmin;
+    values[sl[9]] += gmin;
+    if (bank.rd[i] >= 0) ws.b[bank.rd[i]] -= ieq;
+    if (bank.rs[i] >= 0) ws.b[bank.rs[i]] += ieq;
+  }
+}
+
+/// Scatters the sparse value array into the dense reference matrix.  Only
+/// pattern entries are written (the rest of the matrix is zero by the
+/// prepare_workspace invariant), so this is O(nnz), not O(n^2).
+void scatter_dense(const util::SparsePattern& p, const std::vector<double>& v,
+                   util::Matrix& a) {
+  for (std::size_t c = 0; c < p.n; ++c) {
+    for (std::int32_t i = p.col_ptr[c]; i < p.col_ptr[c + 1]; ++i) {
+      a.at(static_cast<std::size_t>(p.rows[i]), c) = v[i];
+    }
   }
 }
 
@@ -91,7 +235,52 @@ struct NewtonSettings {
   double t = 0.0;
   double dt = 0.0;
   Integration method = Integration::kNone;
+  SolverBackend backend = SolverBackend::kSparse;
 };
+
+/// Factors the assembled system with the selected backend, maintaining the
+/// success-only counter discipline.  On the sparse path an existing factor
+/// is refactorized numerically (the flat pattern-replay hot path); a pivot
+/// that decayed below the singularity threshold falls back to one full
+/// factorization with fresh pivoting before the solve is declared singular,
+/// matching the dense backend's per-iteration full pivoting.
+bool factor_system(NewtonWorkspace& ws, const NewtonSettings& s,
+                   EngineStats& stats, util::LuStatus& status) {
+  if (s.backend == SolverBackend::kDense) {
+    if (ws.lu.factorize(ws.a)) {
+      ++stats.lu_factorizations;
+      status = util::LuStatus::kOk;
+      return true;
+    }
+    ++stats.lu_factorization_failures;
+    status = ws.lu.status();
+    return false;
+  }
+  // The value array carries one extra trash slot (ground-absorbed stamp
+  // entries); the factorization sees exactly the pattern's nnz values.
+  const std::span<const double> values(ws.values.data(),
+                                       ws.sparse.pattern_nnz());
+  if (ws.sparse.has_factor()) {
+    if (ws.sparse.refactor(values)) {
+      ++stats.numeric_refactors;
+      status = util::LuStatus::kOk;
+      return true;
+    }
+    if (ws.sparse.status() == util::LuStatus::kNonFinite) {
+      ++stats.lu_factorization_failures;
+      status = util::LuStatus::kNonFinite;
+      return false;
+    }
+  }
+  if (ws.sparse.factorize(values)) {
+    ++stats.lu_factorizations;
+    status = util::LuStatus::kOk;
+    return true;
+  }
+  ++stats.lu_factorization_failures;
+  status = ws.sparse.status();
+  return false;
+}
 
 struct NewtonOutcome {
   bool converged = false;
@@ -111,7 +300,8 @@ NewtonOutcome newton_solve(Circuit& circuit, std::vector<double>& x,
                            EngineStats& stats, FaultCursor* fault) {
   const std::size_t n = circuit.num_unknowns();
   const std::size_t num_nodes = circuit.num_nodes();
-  prepare_workspace(ws, n);
+  const StampPlan& plan = circuit.stamp_plan();
+  prepare_workspace(ws, n, plan, s.backend, stats);
 
   NewtonOutcome out;
   bool poison_first_iterate = false;
@@ -142,11 +332,14 @@ NewtonOutcome newton_solve(Circuit& circuit, std::vector<double>& x,
     }
   }
 
+  auto& devices = circuit.devices();
   for (int iter = 0; iter < s.max_iterations; ++iter) {
-    ws.a.fill(0.0);
+    // Flat O(nnz) zero of exactly the stamped entries — the dense O(n^2)
+    // fill is gone on both backends.
+    std::fill(ws.values.begin(), ws.values.end(), 0.0);
     std::fill(ws.b.begin(), ws.b.end(), 0.0);
     Solution sol(x, num_nodes);
-    StampContext ctx{ws.a, ws.b, sol};
+    StampContext ctx{ws.values.data(), plan.slots.data(), ws.b, sol};
     ctx.t = s.t;
     ctx.dt = s.dt;
     ctx.method = s.method;
@@ -154,17 +347,29 @@ NewtonOutcome newton_solve(Circuit& circuit, std::vector<double>& x,
     ctx.source_scale = s.source_scale;
     ctx.first_iteration = (iter == 0);
     ctx.num_nodes = num_nodes;
-    for (auto& dev : circuit.devices()) dev->stamp(ctx);
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      if (plan.banked[d] != 0) continue;  // MOSFETs go through the bank
+      ctx.cursor = plan.device_slots[d];
+      devices[d]->stamp(ctx);
+    }
+    stamp_mosfet_bank(plan.bank, ws, x, s.gmin, iter == 0);
 
     out.iterations = iter + 1;
-    ++stats.lu_factorizations;
-    if (!ws.lu.factorize(ws.a)) {
-      out.failure = ws.lu.status() == util::LuStatus::kNonFinite
+    util::LuStatus lu_status = util::LuStatus::kOk;
+    if (s.backend == SolverBackend::kDense) {
+      scatter_dense(plan.pattern, ws.values, ws.a);
+    }
+    if (!factor_system(ws, s, stats, lu_status)) {
+      out.failure = lu_status == util::LuStatus::kNonFinite
                         ? SolveErrorKind::kNonFiniteValues
                         : SolveErrorKind::kSingularMatrix;
       break;
     }
-    ws.lu.solve_into(ws.b, ws.x_new);
+    if (s.backend == SolverBackend::kDense) {
+      ws.lu.solve_into(ws.b, ws.x_new);
+    } else {
+      ws.sparse.solve_into(ws.b, ws.x_new);
+    }
     ++stats.lu_solves;
     if (poison_first_iterate) {
       ws.x_new[0] = std::numeric_limits<double>::quiet_NaN();
@@ -222,6 +427,7 @@ DcResult dc_operating_point_ws(Circuit& circuit, const DcOptions& options,
   s.reltol = options.reltol;
   s.vabstol = options.vabstol;
   s.gmin = options.gmin;
+  s.backend = options.backend;
 
   SolveErrorKind last_failure = SolveErrorKind::kNone;
 
@@ -334,6 +540,7 @@ DcResult dc_sweep_point(Circuit& circuit, VoltageSource* source, double value,
     s.reltol = options.reltol;
     s.vabstol = options.vabstol;
     s.gmin = options.gmin;
+    s.backend = options.backend;
     std::vector<double> x = warm;
     const NewtonOutcome o = newton_solve(circuit, x, s, ws, r.stats, &cursor);
     if (o.converged) {
@@ -415,9 +622,24 @@ std::size_t newton_workspace_allocations() {
   return g_workspace_allocations.load(std::memory_order_relaxed);
 }
 
+SolverBackend default_solver_backend() {
+  return static_cast<SolverBackend>(
+      g_default_backend.load(std::memory_order_relaxed));
+}
+
+void set_default_solver_backend(SolverBackend backend) {
+  g_default_backend.store(static_cast<int>(backend),
+                          std::memory_order_relaxed);
+}
+
 DcResult dc_operating_point(Circuit& circuit, const DcOptions& options) {
-  obs::ScopedTimer span("spice.dc");
   NewtonWorkspace ws;
+  return dc_operating_point(circuit, options, ws);
+}
+
+DcResult dc_operating_point(Circuit& circuit, const DcOptions& options,
+                            NewtonWorkspace& ws) {
+  obs::ScopedTimer span("spice.dc");
   FaultCursor cursor(options.fault_plan, options.fault_context);
   DcResult result = dc_operating_point_ws(circuit, options, ws, &cursor);
   publish_engine_stats(result.stats);
@@ -496,11 +718,10 @@ std::vector<DcResult> dc_sweep_batch(
 namespace {
 
 TranResult transient_impl(Circuit& circuit, double t_stop,
-                          const TranOptions& options) {
+                          const TranOptions& options, NewtonWorkspace& ws) {
   options.validate();
   if (!circuit.finalized()) circuit.finalize();
   TranResult result;
-  NewtonWorkspace ws;  // shared by the initial DC and every timestep
   FaultCursor fault(options.fault_plan, options.fault_context);
 
   auto fail = [&result](SolveErrorKind kind, std::string message, double t) {
@@ -522,6 +743,7 @@ TranResult transient_impl(Circuit& circuit, double t_stop,
   } else {
     DcOptions dc_opts;
     dc_opts.gmin = options.gmin;
+    dc_opts.backend = options.backend;
     const DcResult dc = dc_operating_point_ws(circuit, dc_opts, ws, &fault);
     result.stats.merge(dc.stats);
     if (!dc.converged) {
@@ -625,6 +847,7 @@ TranResult transient_impl(Circuit& circuit, double t_stop,
       s.reltol = options.reltol;
       s.vabstol = options.vabstol;
       s.gmin = gmin_boosted ? options.gmin * kGminBoost : options.gmin;
+      s.backend = options.backend;
       s.t = t + dt;
       s.dt = dt;
       s.method = (!options.use_trapezoidal || be_fallback || after_discontinuity)
@@ -716,8 +939,14 @@ TranResult transient_impl(Circuit& circuit, double t_stop,
 
 TranResult transient(Circuit& circuit, double t_stop,
                      const TranOptions& options) {
+  NewtonWorkspace ws;  // shared by the initial DC and every timestep
+  return transient(circuit, t_stop, options, ws);
+}
+
+TranResult transient(Circuit& circuit, double t_stop,
+                     const TranOptions& options, NewtonWorkspace& ws) {
   obs::ScopedTimer span("spice.transient");
-  TranResult result = transient_impl(circuit, t_stop, options);
+  TranResult result = transient_impl(circuit, t_stop, options, ws);
   publish_engine_stats(result.stats);
   return result;
 }

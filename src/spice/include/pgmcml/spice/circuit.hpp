@@ -17,6 +17,7 @@
 #include "pgmcml/spice/mosfet.hpp"
 #include "pgmcml/spice/source.hpp"
 #include "pgmcml/util/matrix.hpp"
+#include "pgmcml/util/sparse.hpp"
 
 namespace pgmcml::spice {
 
@@ -43,11 +44,69 @@ class Solution {
   std::size_t num_nodes_;
 };
 
+/// Records a device's Jacobian stamp coordinates during finalize().  Each
+/// device declares, via Device::stamp_pattern, the exact sequence of matrix
+/// entries its stamp() touches — one builder call per add in the same order.
+/// Ground-absorbed entries are recorded too (they map to a trash slot), so
+/// the per-iteration slot cursor stays in lockstep with the add calls.
+class StampPatternBuilder {
+ public:
+  explicit StampPatternBuilder(std::size_t num_nodes)
+      : num_nodes_(num_nodes) {}
+
+  /// A[r,c] entry for a node pair (ground absorbed).
+  void entry(NodeId r, NodeId c) {
+    if (r == kGround || c == kGround) {
+      coords_.emplace_back(-1, -1);
+    } else {
+      coords_.emplace_back(r - 1, c - 1);
+    }
+  }
+  /// The four entries of a two-node conductance, in StampContext order.
+  void conductance(NodeId a, NodeId b) {
+    entry(a, a);
+    entry(b, b);
+    entry(a, b);
+    entry(b, a);
+  }
+  /// Voltage-source incidence pair: A[n,branch] and A[branch,n].
+  void incidence(NodeId n, std::size_t branch) {
+    const auto br = static_cast<std::int32_t>(num_nodes_ - 1 + branch);
+    if (n == kGround) {
+      coords_.emplace_back(-1, -1);
+      coords_.emplace_back(-1, -1);
+    } else {
+      coords_.emplace_back(n - 1, br);
+      coords_.emplace_back(br, n - 1);
+    }
+  }
+
+  const std::vector<std::pair<std::int32_t, std::int32_t>>& coords() const {
+    return coords_;
+  }
+
+ private:
+  std::size_t num_nodes_;
+  /// (row, col) in matrix-index space; (-1, -1) = absorbed into ground.
+  std::vector<std::pair<std::int32_t, std::int32_t>> coords_;
+};
+
 /// Stamping context handed to each device once per Newton iteration.
+///
+/// Jacobian contributions no longer address a dense matrix: every add call
+/// consumes the next precomputed slot (an index into the sparse value
+/// array), assigned by Circuit::finalize() from the device's declared
+/// stamp_pattern.  The contract is strict: stamp() must make exactly the
+/// add/conductance/incidence calls, in exactly the order, that
+/// stamp_pattern() declared.  Ground-absorbed entries consume a slot too
+/// (the trash slot past the end of the pattern), so conditional skipping is
+/// neither needed nor allowed.  The RHS stays a dense vector.
 struct StampContext {
-  util::Matrix& A;
+  double* values;                 ///< sparse value array (pattern nnz + trash)
+  const std::int32_t* slots;      ///< finalize-assigned slot sequence
   std::vector<double>& b;
   const Solution& x;     ///< current Newton iterate
+  std::size_t cursor = 0;        ///< next slot to consume
   double t = 0.0;        ///< time of the step being solved
   double dt = 0.0;       ///< step size; 0 for DC analyses
   Integration method = Integration::kNone;
@@ -63,16 +122,26 @@ struct StampContext {
     return num_nodes - 1 + branch;
   }
 
-  /// A[r,c] += g for node pair (absorbing ground).
+  /// A[r,c] += g for node pair (ground lands in the trash slot).
   void add(NodeId r, NodeId c, double g) {
-    if (r == kGround || c == kGround) return;
-    A.at(node_index(r), node_index(c)) += g;
+    (void)r;
+    (void)c;
+    values[slots[cursor++]] += g;
+  }
+  /// Voltage-source incidence pair: A[n,branch] += v and A[branch,n] += v.
+  void incidence(NodeId n, std::size_t branch, double v) {
+    (void)n;
+    (void)branch;
+    values[slots[cursor++]] += v;
+    values[slots[cursor++]] += v;
   }
   /// b[r] += i.
   void rhs(NodeId r, double i) {
     if (r == kGround) return;
     b[node_index(r)] += i;
   }
+  /// b[branch row] += v.
+  void rhs_branch(std::size_t branch, double v) { b[branch_index(branch)] += v; }
   /// Conductance stamp between two nodes.
   void conductance(NodeId a, NodeId bnode, double g) {
     add(a, a, g);
@@ -103,6 +172,12 @@ class Device {
 
   /// Adds this device's contribution to the MNA system.
   virtual void stamp(StampContext& ctx) = 0;
+
+  /// Declares the Jacobian entries stamp() will touch — the same builder
+  /// calls, in the same order, as the add/conductance/incidence calls that
+  /// stamp() makes.  Called once by Circuit::finalize() to assign fixed
+  /// slots; must be value-independent (pure topology).
+  virtual void stamp_pattern(StampPatternBuilder& pat) const = 0;
 
   /// Accepts the step: update internal integration/limiting state.
   virtual void commit(const Solution& x, double t, double dt);
@@ -135,6 +210,7 @@ class Resistor final : public Device {
  public:
   Resistor(std::string name, NodeId a, NodeId b, double ohms);
   void stamp(StampContext& ctx) override;
+  void stamp_pattern(StampPatternBuilder& pat) const override;
   double probe_current(const Solution& x, double t) const override;
   std::vector<NodeId> terminals() const override { return {a_, b_}; }
   double resistance() const { return r_; }
@@ -149,6 +225,7 @@ class Capacitor final : public Device {
   Capacitor(std::string name, NodeId a, NodeId b, double farads,
             double initial_voltage = 0.0);
   void stamp(StampContext& ctx) override;
+  void stamp_pattern(StampPatternBuilder& pat) const override;
   void commit(const Solution& x, double t, double dt) override;
   void reset_state(const Solution& x) override;
   double probe_current(const Solution& x, double t) const override;
@@ -170,6 +247,7 @@ class VoltageSource final : public Device {
   int extra_unknowns() const override { return 1; }
   void set_branch_offset(std::size_t offset) override { branch_ = offset; }
   void stamp(StampContext& ctx) override;
+  void stamp_pattern(StampPatternBuilder& pat) const override;
   /// Current flowing out of the + terminal through the source (so a supply
   /// delivering current to the circuit probes negative by MNA convention;
   /// see Circuit::supply_current for the conventional sign).
@@ -192,6 +270,7 @@ class CurrentSource final : public Device {
   /// positive value pulls current out of `pos` node).
   CurrentSource(std::string name, NodeId pos, NodeId neg, SourceSpec spec);
   void stamp(StampContext& ctx) override;
+  void stamp_pattern(StampPatternBuilder& pat) const override;
   double probe_current(const Solution& x, double t) const override;
   std::vector<NodeId> terminals() const override { return {pos_, neg_}; }
   const SourceSpec& spec() const { return spec_; }
@@ -206,6 +285,7 @@ class Mosfet final : public Device {
   Mosfet(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
          MosParams params);
   void stamp(StampContext& ctx) override;
+  void stamp_pattern(StampPatternBuilder& pat) const override;
   void commit(const Solution& x, double t, double dt) override;
   void reset_state(const Solution& x) override;
   /// Drain current (positive into the drain for NMOS conduction d->s).
@@ -224,6 +304,47 @@ class Mosfet final : public Device {
   double vgs_iter_ = 0.0;
   double vds_iter_ = 0.0;
   bool have_iter_ = false;
+};
+
+// --- stamp plan --------------------------------------------------------------
+
+/// SoA gather of every MOSFET in a circuit, built by Circuit::finalize().
+/// The engine evaluates all MOSFETs in one flat pass over these contiguous
+/// arrays (gather voltages -> batch mos_eval -> scatter by slot), replacing
+/// the per-device virtual stamp() for the dominant device class.  Structure
+/// only — the per-analysis limiting state lives in the NewtonWorkspace.
+struct MosfetBank {
+  std::vector<MosParams> params;           ///< device parameters, bank order
+  std::vector<std::int32_t> vd, vg, vs, vb;  ///< x-indices (-1 = ground)
+  std::vector<std::int32_t> rd, rs;        ///< RHS rows for d/s (-1 = ground)
+  /// 10 slots per device, in Mosfet::stamp order: (d,g) (d,d) (d,b) (d,s)
+  /// (s,g) (s,d) (s,b) (s,s) then the two gmin entries (d,d) (s,s).
+  std::vector<std::int32_t> slot;
+  std::vector<DeviceId> device;            ///< bank index -> DeviceId
+
+  std::size_t size() const { return params.size(); }
+  bool empty() const { return params.empty(); }
+};
+
+/// Fixed slot assignment for one topology, computed by Circuit::finalize().
+/// Every device's stamp entries resolve to indices into a shared sparse
+/// value array (CSC order), so per-iteration assembly is a flat O(nnz)
+/// zero + value overwrite instead of a dense O(n^2) fill plus map lookups.
+/// Ground-absorbed entries share one trash slot past the end of the array.
+struct StampPlan {
+  util::SparsePattern pattern;  ///< CSC pattern of the n x n Jacobian
+  std::uint64_t digest = 0;     ///< pattern.digest(), cached
+  /// Concatenated per-device slot runs; device i's run is
+  /// [device_slots[i], device_slots[i+1]).  MOSFET runs exist here too (the
+  /// bank references the same slots), but the engine skips banked devices.
+  std::vector<std::int32_t> slots;
+  std::vector<std::uint32_t> device_slots;  ///< size num_devices + 1
+  std::vector<char> banked;     ///< device i handled by the MOSFET bank
+  MosfetBank bank;
+
+  std::size_t trash_slot() const { return pattern.nnz(); }
+  /// Sparse value array length: one per pattern entry plus the trash slot.
+  std::size_t values_size() const { return pattern.nnz() + 1; }
 };
 
 // --- the netlist ------------------------------------------------------------
@@ -261,9 +382,13 @@ class Circuit {
 
   /// Number of MNA unknowns (nodes-1 + branch currents).
   std::size_t num_unknowns() const;
-  /// Assigns branch offsets; called automatically by the engine.
+  /// Assigns branch offsets and builds the stamp plan (sparsity pattern,
+  /// per-device slots, MOSFET bank); called automatically by the engine.
   void finalize();
   bool finalized() const { return finalized_; }
+
+  /// The finalize()-built slot assignment; valid while finalized().
+  const StampPlan& stamp_plan() const { return plan_; }
 
   /// All source breakpoints in (0, t_stop) merged and sorted.
   std::vector<double> source_breakpoints(double t_stop) const;
@@ -281,6 +406,7 @@ class Circuit {
   std::unordered_map<std::string, NodeId> node_index_;
   std::vector<std::unique_ptr<Device>> devices_;
   std::unordered_map<std::string, DeviceId> device_index_;
+  StampPlan plan_;
   bool finalized_ = false;
   int anon_counter_ = 0;
 };

@@ -22,19 +22,52 @@
 #include "pgmcml/spice/circuit.hpp"
 #include "pgmcml/spice/fault.hpp"
 #include "pgmcml/spice/solve_error.hpp"
+#include "pgmcml/util/sparse.hpp"
 #include "pgmcml/util/waveform.hpp"
 
 namespace pgmcml::spice {
 
-/// Reusable scratch storage for the Newton solver: system matrix, RHS,
-/// candidate solution and LU factors persist across iterations, timesteps
-/// and whole analyses, so the hot loop performs no heap allocation once the
-/// buffers are sized for the circuit.  One workspace serves one thread.
+/// Which linear solver the Newton loop uses.  kSparse is the production
+/// path: pattern-indexed stamping into a CSC value array, symbolic analysis
+/// cached per topology, numeric refactorization per iteration.  kDense is
+/// the reference implementation — it assembles the identical system (same
+/// value array, scattered into a dense matrix) and factors it with the
+/// dense LuSolver, preserving the pre-sparse behaviour bit for bit.
+enum class SolverBackend { kSparse, kDense };
+
+/// Process-wide default backend, picked up by DcOptions/TranOptions at
+/// construction so whole flows (characterize, Monte-Carlo, traces) can be
+/// flipped without plumbing an option through every layer.  Tests use this
+/// to run the same flow on both backends and compare.
+SolverBackend default_solver_backend();
+void set_default_solver_backend(SolverBackend backend);
+
+/// Reusable scratch storage for the Newton solver: the sparse value array,
+/// RHS, candidate solution and LU factors persist across iterations,
+/// timesteps and whole analyses, so the hot loop performs no heap
+/// allocation once the buffers are sized for the circuit.  The cached
+/// symbolic analysis (keyed by the stamp plan's pattern digest) also lives
+/// here: Newton iterations, timesteps, sweep points and Monte-Carlo samples
+/// that share a topology reuse one ordering and one factor pattern.  One
+/// workspace serves one thread.
 struct NewtonWorkspace {
-  util::Matrix a;
+  std::vector<double> values;  ///< sparse stamp values (pattern nnz + trash)
   std::vector<double> b;
   std::vector<double> x_new;
+  // Sparse backend: factor + cached symbolic analysis.
+  util::SparseLu sparse;
+  std::uint64_t pattern_digest = 0;  ///< digest the analysis was run for
+  bool analyzed = false;
+  // Dense backend: scatter target (pattern entries only; zeroed on pattern
+  // change so stale entries never linger) and the dense factorization.
+  util::Matrix a;
   util::LuSolver lu;
+  bool dense_ready = false;
+  // MOSFET bank per-analysis state and batch scratch (SoA, bank order).
+  std::vector<double> mos_vgs_iter, mos_vds_iter;
+  std::vector<char> mos_have_iter;
+  std::vector<double> mos_vgs, mos_vds, mos_vbs;
+  std::vector<double> mos_id, mos_gm, mos_gds, mos_gmb;
 };
 
 /// Process-wide count of Newton workspace (re)sizings.  Repeated solves of
@@ -49,6 +82,8 @@ struct DcOptions {
   double gmin = 1e-12;     ///< final gmin [S]
   bool allow_gmin_stepping = true;
   bool allow_source_stepping = true;
+  /// Linear-solver backend; defaults to the process-wide setting.
+  SolverBackend backend = default_solver_backend();
   /// Test-only deterministic fault injection (see fault.hpp); faults are
   /// addressed by (fault_context, newton-solve index within the analysis).
   const FaultPlan* fault_plan = nullptr;
@@ -92,6 +127,8 @@ struct TranOptions {
   /// Recovery ladder: when false, a step failure at dt_min fails the
   /// analysis immediately (the pre-ladder behaviour).
   bool enable_recovery_ladder = true;
+  /// Linear-solver backend; defaults to the process-wide setting.
+  SolverBackend backend = default_solver_backend();
   /// Test-only deterministic fault injection (see fault.hpp).  The solve
   /// index counts every Newton run of the analysis, initial DC included.
   const FaultPlan* fault_plan = nullptr;
@@ -130,6 +167,13 @@ struct TranResult {
 /// Computes the DC operating point.
 DcResult dc_operating_point(Circuit& circuit, const DcOptions& options = {});
 
+/// Workspace-reusing variant for flows that solve one topology repeatedly
+/// (characterization corners, Monte-Carlo samples, bias replicas): the
+/// caller-owned workspace keeps its symbolic analysis and buffers across
+/// calls, so only the first solve of a topology pays for the analysis.
+DcResult dc_operating_point(Circuit& circuit, const DcOptions& options,
+                            NewtonWorkspace& ws);
+
 /// DC sweep: re-solves the operating point for each value of a named DC
 /// voltage source, warm-starting each solve from the previous solution
 /// (the standard .dc analysis).  The source must be a DC VoltageSource.
@@ -153,6 +197,11 @@ std::vector<DcResult> dc_sweep_batch(
 /// operating point (or `options.initial_state` when provided).
 TranResult transient(Circuit& circuit, double t_stop,
                      const TranOptions& options = {});
+
+/// Workspace-reusing variant (see the DcOptions overload): repeated
+/// transients over one topology share the symbolic analysis and scratch.
+TranResult transient(Circuit& circuit, double t_stop,
+                     const TranOptions& options, NewtonWorkspace& ws);
 
 /// Convenience: current delivered by a named voltage source (conventional
 /// sign: positive = source delivers current from its + terminal into the

@@ -48,8 +48,18 @@ struct SolveError {
 struct EngineStats {
   std::size_t newton_iterations = 0;  ///< total NR iterations
   std::size_t newton_failures = 0;    ///< NR runs that did not converge
-  std::size_t lu_factorizations = 0;  ///< LU factorizations attempted
+  /// Full LU factorizations that SUCCEEDED (dense, or sparse with fresh
+  /// pivoting).  Failed attempts count in lu_factorization_failures instead,
+  /// so the counter never claims work that produced no factor.
+  std::size_t lu_factorizations = 0;
+  std::size_t lu_factorization_failures = 0;  ///< singular/non-finite attempts
   std::size_t lu_solves = 0;          ///< forward/back substitutions run
+  /// Sparse-backend structure reuse: symbolic analyses run (once per new
+  /// topology per workspace) and successful pattern-replay refactorizations
+  /// (the per-iteration hot path).  Same success-only discipline as
+  /// lu_factorizations.
+  std::size_t symbolic_analyses = 0;
+  std::size_t numeric_refactors = 0;
   std::size_t steps_accepted = 0;     ///< transient steps accepted
   std::size_t steps_rejected = 0;     ///< transient steps rejected
   std::size_t gmin_step_stages = 0;   ///< DC gmin-stepping stages run

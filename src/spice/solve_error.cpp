@@ -30,7 +30,10 @@ void EngineStats::merge(const EngineStats& other) {
   newton_iterations += other.newton_iterations;
   newton_failures += other.newton_failures;
   lu_factorizations += other.lu_factorizations;
+  lu_factorization_failures += other.lu_factorization_failures;
   lu_solves += other.lu_solves;
+  symbolic_analyses += other.symbolic_analyses;
+  numeric_refactors += other.numeric_refactors;
   steps_accepted += other.steps_accepted;
   steps_rejected += other.steps_rejected;
   gmin_step_stages += other.gmin_step_stages;
@@ -106,7 +109,13 @@ obs::json::Value EngineStats::to_json_value() const {
   o.emplace_back("newton_failures", static_cast<std::uint64_t>(newton_failures));
   o.emplace_back("lu_factorizations",
                  static_cast<std::uint64_t>(lu_factorizations));
+  o.emplace_back("lu_factorization_failures",
+                 static_cast<std::uint64_t>(lu_factorization_failures));
   o.emplace_back("lu_solves", static_cast<std::uint64_t>(lu_solves));
+  o.emplace_back("symbolic_analyses",
+                 static_cast<std::uint64_t>(symbolic_analyses));
+  o.emplace_back("numeric_refactors",
+                 static_cast<std::uint64_t>(numeric_refactors));
   o.emplace_back("steps_accepted", static_cast<std::uint64_t>(steps_accepted));
   o.emplace_back("steps_rejected", static_cast<std::uint64_t>(steps_rejected));
   o.emplace_back("gmin_step_stages",
@@ -130,7 +139,10 @@ EngineStats EngineStats::from_json_value(const obs::json::Value& v) {
   s.newton_iterations = u64_field(v, "newton_iterations");
   s.newton_failures = u64_field(v, "newton_failures");
   s.lu_factorizations = u64_field(v, "lu_factorizations");
+  s.lu_factorization_failures = u64_field(v, "lu_factorization_failures");
   s.lu_solves = u64_field(v, "lu_solves");
+  s.symbolic_analyses = u64_field(v, "symbolic_analyses");
+  s.numeric_refactors = u64_field(v, "numeric_refactors");
   s.steps_accepted = u64_field(v, "steps_accepted");
   s.steps_rejected = u64_field(v, "steps_rejected");
   s.gmin_step_stages = u64_field(v, "gmin_step_stages");

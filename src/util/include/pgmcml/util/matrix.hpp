@@ -1,8 +1,12 @@
-// Dense linear algebra sized for modified nodal analysis.
+// Dense linear algebra for modified nodal analysis.
 //
-// Circuit matrices in this project are small (tens to a few hundred
-// unknowns) and re-factored on every Newton iteration, so a straightforward
-// dense LU with partial pivoting is both simple and fast enough.
+// LuSolver is the engine's REFERENCE backend: a straightforward dense LU
+// with partial pivoting that re-factors from scratch on every Newton
+// iteration.  The production path is the sparse structure-reusing solver
+// in sparse.hpp (cached symbolic analysis + numeric refactorization);
+// the dense backend remains selectable via SolverBackend::kDense so every
+// sparse result can be checked against an independent implementation, and
+// Matrix itself serves the small fixed-size systems elsewhere in the repo.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,122 @@
+// Sparse LU for structure-reusing MNA solves.
+//
+// Circuit matrices are sparse (a handful of entries per row) and one
+// topology is solved thousands of times: Newton iterations x timesteps x
+// sweep points x Monte-Carlo samples all share a sparsity pattern.  SparseLu
+// splits the work accordingly, KLU-style:
+//
+//   analyze()    once per topology: records the CSC pattern and computes a
+//                fill-reducing (minimum-degree) column ordering.  Purely
+//                structural -- no values involved.
+//   factorize()  numeric factorization with partial pivoting (left-looking
+//                Gilbert-Peierls).  Also records the L/U fill pattern and
+//                the pivot row sequence so later solves can skip both the
+//                reachability search and the pivot search.
+//   refactor()   numeric-only refactorization: replays the recorded pattern
+//                and pivot order as a flat sweep over contiguous arrays.
+//                This is the per-Newton-iteration hot path.  It fails
+//                (kSingular) when a pivot decays below the per-column
+//                threshold, in which case the caller re-runs factorize()
+//                with fresh pivoting.
+//
+// The failure taxonomy matches util::LuSolver (LuStatus::kSingular /
+// kNonFinite), so the engine's recovery ladder and fault injection behave
+// identically on both backends.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pgmcml/util/matrix.hpp"  // LuStatus
+
+namespace pgmcml::util {
+
+/// Sparsity pattern of a square matrix in compressed-sparse-column form.
+/// Row indices are sorted within each column and unique.
+struct SparsePattern {
+  std::size_t n = 0;
+  std::vector<std::int32_t> col_ptr;  ///< size n+1
+  std::vector<std::int32_t> rows;     ///< size nnz, sorted per column
+
+  std::size_t nnz() const { return rows.size(); }
+
+  /// Structural digest (FNV-1a over n, col_ptr, rows).  Two circuits with
+  /// the same topology hash identically, which is what lets a workspace
+  /// prove it can keep its symbolic analysis across sweep / Monte-Carlo
+  /// points.
+  std::uint64_t digest() const;
+};
+
+/// Sparse LU with a cached symbolic phase and pattern-reusing numeric
+/// refactorization.  One instance serves one pattern at a time; analyze()
+/// with a different pattern resets the factor.
+class SparseLu {
+ public:
+  /// Symbolic analysis: store the pattern and compute the fill-reducing
+  /// column ordering.  Invalidates any previous factor.
+  void analyze(const SparsePattern& pattern);
+  bool analyzed() const { return analyzed_; }
+
+  /// Full numeric factorization of the values (aligned with the analyzed
+  /// pattern: values[i] belongs to pattern.rows[i]).  Performs partial
+  /// pivoting with diagonal preference and records pattern + pivots for
+  /// refactor().  Returns false on singular / non-finite input.
+  bool factorize(std::span<const double> values);
+
+  /// Numeric-only refactorization reusing the recorded pattern and pivot
+  /// sequence.  Returns false (status kSingular) when a pivot falls below
+  /// the per-column threshold -- the caller should retry with factorize()
+  /// -- or (status kNonFinite) on NaN/Inf input.
+  bool refactor(std::span<const double> values);
+
+  /// True once factorize() has succeeded for the current pattern.
+  bool has_factor() const { return factored_; }
+
+  /// Outcome of the last factorize()/refactor() call.
+  LuStatus status() const { return status_; }
+
+  /// Solves Ax = b using the current factor; factorize()/refactor() must
+  /// have succeeded first.  Allocation-free once `x` has capacity n.
+  void solve_into(std::span<const double> b, std::vector<double>& x) const;
+
+  std::size_t dimension() const { return n_; }
+  std::size_t pattern_nnz() const { return a_rows_.size(); }
+  /// nnz(L) + nnz(U) of the recorded factor (diagonal counted once).
+  std::size_t factor_nnz() const;
+  /// factor_nnz / pattern_nnz; 0 before the first factorization.
+  double fill_in_ratio() const;
+
+ private:
+  bool finite_values(std::span<const double> values);
+
+  std::size_t n_ = 0;
+  // Analyzed pattern (copy of the caller's, in original column order).
+  std::vector<std::int32_t> a_col_ptr_;
+  std::vector<std::int32_t> a_rows_;
+  // Fill-reducing column ordering: column k of the factorization is
+  // original column q_[k].
+  std::vector<std::int32_t> q_;
+
+  // Factor state (valid when factored_):
+  //   L: unit lower triangular, strictly-below-diagonal entries, CSC in
+  //      pivot (permuted-row) space, rows sorted ascending per column.
+  //   U: upper triangular including the diagonal, CSC, rows sorted.
+  //   pinv_[original_row] = pivot position (the permuted row index).
+  std::vector<std::int32_t> l_col_ptr_, l_rows_;
+  std::vector<double> l_vals_;
+  std::vector<std::int32_t> u_col_ptr_, u_rows_;
+  std::vector<double> u_vals_;
+  std::vector<std::int32_t> pinv_;
+  bool analyzed_ = false;
+  bool factored_ = false;
+  LuStatus status_ = LuStatus::kSingular;
+
+  // Scratch reused across calls (sized n once).
+  std::vector<double> work_;
+  std::vector<std::int32_t> stack_, flag_, order_;
+  mutable std::vector<double> solve_tmp_;
+};
+
+}  // namespace pgmcml::util

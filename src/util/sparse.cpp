@@ -1,0 +1,368 @@
+#include "pgmcml/util/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pgmcml::util {
+
+namespace {
+
+/// Minimum-degree ordering on the symmetrized pattern (A + A^T).  Exact
+/// greedy elimination with clique updates -- O(n * fill) worst case, which
+/// is fine at MNA sizes (tens to a few thousand unknowns).  Ties break on
+/// the smallest vertex id so the ordering is deterministic.
+std::vector<std::int32_t> min_degree_order(const SparsePattern& p) {
+  const std::size_t n = p.n;
+  std::vector<std::vector<std::int32_t>> adj(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::int32_t i = p.col_ptr[j]; i < p.col_ptr[j + 1]; ++i) {
+      const std::int32_t r = p.rows[i];
+      if (static_cast<std::size_t>(r) == j) continue;
+      adj[j].push_back(r);
+      adj[r].push_back(static_cast<std::int32_t>(j));
+    }
+  }
+  for (auto& list : adj) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+
+  std::vector<char> eliminated(n, 0);
+  std::vector<char> mark(n, 0);
+  std::vector<std::int32_t> order;
+  order.reserve(n);
+  std::vector<std::int32_t> merged;
+
+  auto live_degree = [&](std::size_t v) {
+    std::size_t d = 0;
+    for (const std::int32_t u : adj[v]) d += !eliminated[u];
+    return d;
+  };
+
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best = n;
+    std::size_t best_deg = n + 1;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (eliminated[v]) continue;
+      const std::size_t d = live_degree(v);
+      if (d < best_deg) {
+        best_deg = d;
+        best = v;
+      }
+    }
+    eliminated[best] = 1;
+    order.push_back(static_cast<std::int32_t>(best));
+
+    // Eliminating `best` connects its live neighbours into a clique.
+    merged.clear();
+    for (const std::int32_t u : adj[best]) {
+      if (!eliminated[u]) merged.push_back(u);
+    }
+    for (const std::int32_t u : merged) {
+      for (const std::int32_t w : adj[u]) mark[w] = 1;
+      mark[u] = 1;
+      for (const std::int32_t w : merged) {
+        if (!mark[w]) adj[u].push_back(w);
+      }
+      for (const std::int32_t w : adj[u]) mark[w] = 0;
+      mark[u] = 0;
+    }
+  }
+  return order;
+}
+
+constexpr double kPivotFloor = 1e-300;
+constexpr double kSingularRatio = 1e-13;  ///< matches the dense LuSolver
+constexpr double kDiagonalPreference = 0.1;
+
+}  // namespace
+
+std::uint64_t SparsePattern::digest() const {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(n);
+  for (const std::int32_t v : col_ptr) mix(static_cast<std::uint64_t>(v));
+  for (const std::int32_t v : rows) mix(static_cast<std::uint64_t>(v));
+  return h;
+}
+
+void SparseLu::analyze(const SparsePattern& pattern) {
+  if (pattern.col_ptr.size() != pattern.n + 1) {
+    throw std::invalid_argument("SparseLu::analyze: malformed pattern");
+  }
+  n_ = pattern.n;
+  a_col_ptr_ = pattern.col_ptr;
+  a_rows_ = pattern.rows;
+  q_ = min_degree_order(pattern);
+  analyzed_ = true;
+  factored_ = false;
+  status_ = LuStatus::kSingular;
+
+  work_.assign(n_, 0.0);
+  stack_.assign(n_, 0);
+  flag_.assign(n_, -1);
+  order_.clear();
+  pinv_.assign(n_, -1);
+}
+
+bool SparseLu::finite_values(std::span<const double> values) {
+  for (const double v : values) {
+    if (!std::isfinite(v)) {
+      status_ = LuStatus::kNonFinite;
+      factored_ = false;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SparseLu::factorize(std::span<const double> values) {
+  if (!analyzed_ || values.size() != a_rows_.size()) {
+    throw std::logic_error("SparseLu::factorize: analyze() first");
+  }
+  factored_ = false;
+  if (!finite_values(values)) return false;
+
+  // Per-column scale of the ORIGINAL matrix: the singularity threshold is
+  // judged against it, exactly like the dense solver.
+  std::vector<double> col_scale(n_, 0.0);
+  for (std::size_t j = 0; j < n_; ++j) {
+    for (std::int32_t p = a_col_ptr_[j]; p < a_col_ptr_[j + 1]; ++p) {
+      col_scale[j] = std::max(col_scale[j], std::fabs(values[p]));
+    }
+  }
+
+  l_col_ptr_.assign(n_ + 1, 0);
+  u_col_ptr_.assign(n_ + 1, 0);
+  l_rows_.clear();
+  l_vals_.clear();
+  u_rows_.clear();
+  u_vals_.clear();
+  l_rows_.reserve(4 * a_rows_.size());
+  l_vals_.reserve(4 * a_rows_.size());
+  u_rows_.reserve(4 * a_rows_.size());
+  u_vals_.reserve(4 * a_rows_.size());
+  std::fill(pinv_.begin(), pinv_.end(), -1);
+  std::fill(flag_.begin(), flag_.end(), -1);
+  std::fill(work_.begin(), work_.end(), 0.0);
+
+  // During the factorization L row indices live in ORIGINAL row space (the
+  // rows are not pivotal yet); they are remapped to pivot space at the end.
+  std::vector<std::int32_t>& reach = order_;
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::int32_t j = q_[k];  // original column being eliminated
+
+    // --- symbolic: reach of A(:,j) through the columns of L built so far.
+    reach.clear();
+    std::size_t top = 0;
+    for (std::int32_t p = a_col_ptr_[j]; p < a_col_ptr_[j + 1]; ++p) {
+      const std::int32_t r = a_rows_[p];
+      if (flag_[r] != static_cast<std::int32_t>(k)) stack_[top++] = r;
+      flag_[r] = static_cast<std::int32_t>(k);  // seed marks
+    }
+    // Re-seed cleanly: marks above double as the visited set for the DFS.
+    for (std::size_t s = 0; s < top; ++s) reach.push_back(stack_[s]);
+    for (std::size_t s = 0; s < reach.size(); ++s) {
+      const std::int32_t r = reach[s];
+      const std::int32_t c = pinv_[r];
+      if (c < 0) continue;  // not pivotal: terminal node
+      for (std::int32_t p = l_col_ptr_[c]; p < l_col_ptr_[c + 1]; ++p) {
+        const std::int32_t rr = l_rows_[p];
+        if (flag_[rr] != static_cast<std::int32_t>(k)) {
+          flag_[rr] = static_cast<std::int32_t>(k);
+          reach.push_back(rr);
+        }
+      }
+    }
+    // Ascending pivot order is a topological order of the dependency graph
+    // (an L column only reaches rows pivoted later), and it is exactly the
+    // order refactor() replays -- so factorize() and refactor() perform the
+    // same floating-point operations in the same order.
+    std::sort(reach.begin(), reach.end(), [&](std::int32_t a, std::int32_t b) {
+      const std::int32_t pa = pinv_[a], pb = pinv_[b];
+      if ((pa < 0) != (pb < 0)) return pb < 0;  // pivotal first
+      if (pa < 0) return a < b;                 // candidates: by row id
+      return pa < pb;                           // pivotal: by pivot order
+    });
+
+    // --- numeric: sparse triangular solve x = L \ A(:,j).
+    for (std::int32_t p = a_col_ptr_[j]; p < a_col_ptr_[j + 1]; ++p) {
+      work_[a_rows_[p]] = values[p];
+    }
+    for (const std::int32_t r : reach) {
+      const std::int32_t c = pinv_[r];
+      if (c < 0) break;  // pivotal prefix exhausted (reach is partitioned)
+      const double t = work_[r];
+      for (std::int32_t p = l_col_ptr_[c]; p < l_col_ptr_[c + 1]; ++p) {
+        work_[l_rows_[p]] -= l_vals_[p] * t;
+      }
+    }
+
+    // --- pivot: largest candidate magnitude, preferring the diagonal row
+    // when it is within kDiagonalPreference of the best (keeps the pivot
+    // sequence stable so refactor() rarely needs a re-pivot).
+    std::int32_t pivot_row = -1;
+    double best = -1.0;
+    bool diag_in_reach = false;
+    for (const std::int32_t r : reach) {
+      if (pinv_[r] >= 0) continue;
+      const double mag = std::fabs(work_[r]);
+      if (mag > best) {
+        best = mag;
+        pivot_row = r;
+      }
+      if (r == j) diag_in_reach = true;
+    }
+    const double threshold =
+        std::max(kPivotFloor, kSingularRatio * col_scale[j]);
+    if (pivot_row < 0 || best < threshold) {
+      for (const std::int32_t r : reach) work_[r] = 0.0;
+      status_ = LuStatus::kSingular;
+      return false;
+    }
+    if (diag_in_reach && pinv_[j] < 0 && j != pivot_row &&
+        std::fabs(work_[j]) >= kDiagonalPreference * best &&
+        std::fabs(work_[j]) >= threshold) {
+      pivot_row = j;
+    }
+    const double pivot = work_[pivot_row];
+
+    // --- emit U(:,k) (pivotal reach rows + diagonal) and L(:,k).
+    for (const std::int32_t r : reach) {
+      if (pinv_[r] < 0) continue;
+      u_rows_.push_back(pinv_[r]);
+      u_vals_.push_back(work_[r]);
+    }
+    u_rows_.push_back(static_cast<std::int32_t>(k));
+    u_vals_.push_back(pivot);
+    for (const std::int32_t r : reach) {
+      if (pinv_[r] >= 0 || r == pivot_row) continue;
+      l_rows_.push_back(r);  // original row; remapped after the loop
+      l_vals_.push_back(work_[r] / pivot);
+    }
+    pinv_[pivot_row] = static_cast<std::int32_t>(k);
+    u_col_ptr_[k + 1] = static_cast<std::int32_t>(u_rows_.size());
+    l_col_ptr_[k + 1] = static_cast<std::int32_t>(l_rows_.size());
+    for (const std::int32_t r : reach) work_[r] = 0.0;
+  }
+
+  // Remap L rows to pivot space and sort both factors' columns ascending,
+  // which fixes the operation order refactor() and solve_into() replay.
+  for (std::int32_t& r : l_rows_) r = pinv_[r];
+  std::vector<std::pair<std::int32_t, double>> tmp;
+  auto sort_columns = [&tmp](std::vector<std::int32_t>& col_ptr,
+                             std::vector<std::int32_t>& rows,
+                             std::vector<double>& vals, std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::int32_t lo = col_ptr[k], hi = col_ptr[k + 1];
+      tmp.clear();
+      for (std::int32_t p = lo; p < hi; ++p) tmp.emplace_back(rows[p], vals[p]);
+      std::sort(tmp.begin(), tmp.end());
+      for (std::int32_t p = lo; p < hi; ++p) {
+        rows[p] = tmp[p - lo].first;
+        vals[p] = tmp[p - lo].second;
+      }
+    }
+  };
+  sort_columns(l_col_ptr_, l_rows_, l_vals_, n_);
+  sort_columns(u_col_ptr_, u_rows_, u_vals_, n_);
+
+  factored_ = true;
+  status_ = LuStatus::kOk;
+  return true;
+}
+
+bool SparseLu::refactor(std::span<const double> values) {
+  if (!factored_ || values.size() != a_rows_.size()) {
+    throw std::logic_error("SparseLu::refactor: factorize() first");
+  }
+  if (!finite_values(values)) {
+    factored_ = true;  // the recorded pattern is still intact
+    return false;
+  }
+
+  // work_ is maintained all-zero between columns; x lives in pivot space.
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::int32_t j = q_[k];
+    double col_scale = 0.0;
+    for (std::int32_t p = a_col_ptr_[j]; p < a_col_ptr_[j + 1]; ++p) {
+      work_[pinv_[a_rows_[p]]] = values[p];
+      col_scale = std::max(col_scale, std::fabs(values[p]));
+    }
+    const std::int32_t u_lo = u_col_ptr_[k], u_hi = u_col_ptr_[k + 1];
+    for (std::int32_t p = u_lo; p < u_hi - 1; ++p) {  // off-diagonal U rows
+      const std::int32_t i = u_rows_[p];
+      const double t = work_[i];
+      u_vals_[p] = t;
+      for (std::int32_t q = l_col_ptr_[i]; q < l_col_ptr_[i + 1]; ++q) {
+        work_[l_rows_[q]] -= l_vals_[q] * t;
+      }
+    }
+    const double pivot = work_[k];
+    const std::int32_t l_lo = l_col_ptr_[k], l_hi = l_col_ptr_[k + 1];
+    if (std::fabs(pivot) <
+        std::max(kPivotFloor, kSingularRatio * col_scale)) {
+      // Pivot decayed under the recorded permutation: hand back to a full
+      // factorize() for fresh pivoting.  Restore the all-zero scratch.
+      for (std::int32_t p = u_lo; p < u_hi; ++p) work_[u_rows_[p]] = 0.0;
+      for (std::int32_t p = l_lo; p < l_hi; ++p) work_[l_rows_[p]] = 0.0;
+      status_ = LuStatus::kSingular;
+      return false;
+    }
+    u_vals_[u_hi - 1] = pivot;
+    for (std::int32_t p = l_lo; p < l_hi; ++p) {
+      l_vals_[p] = work_[l_rows_[p]] / pivot;
+    }
+    for (std::int32_t p = u_lo; p < u_hi; ++p) work_[u_rows_[p]] = 0.0;
+    for (std::int32_t p = l_lo; p < l_hi; ++p) work_[l_rows_[p]] = 0.0;
+  }
+  status_ = LuStatus::kOk;
+  return true;
+}
+
+void SparseLu::solve_into(std::span<const double> b,
+                          std::vector<double>& x) const {
+  if (!factored_ || status_ != LuStatus::kOk || b.size() != n_) {
+    throw std::logic_error(
+        "SparseLu::solve called without valid factorization");
+  }
+  solve_tmp_.assign(n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r) solve_tmp_[pinv_[r]] = b[r];
+  // Forward substitution with unit-diagonal L (pivot space).
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double t = solve_tmp_[k];
+    for (std::int32_t p = l_col_ptr_[k]; p < l_col_ptr_[k + 1]; ++p) {
+      solve_tmp_[l_rows_[p]] -= l_vals_[p] * t;
+    }
+  }
+  // Back substitution; the diagonal is each U column's last (largest) row.
+  for (std::size_t k = n_; k-- > 0;) {
+    const std::int32_t lo = u_col_ptr_[k], hi = u_col_ptr_[k + 1];
+    const double t = solve_tmp_[k] / u_vals_[hi - 1];
+    solve_tmp_[k] = t;
+    for (std::int32_t p = lo; p < hi - 1; ++p) {
+      solve_tmp_[u_rows_[p]] -= u_vals_[p] * t;
+    }
+  }
+  x.assign(n_, 0.0);
+  for (std::size_t k = 0; k < n_; ++k) x[q_[k]] = solve_tmp_[k];
+}
+
+std::size_t SparseLu::factor_nnz() const {
+  return factored_ ? l_rows_.size() + u_rows_.size() : 0;
+}
+
+double SparseLu::fill_in_ratio() const {
+  if (!factored_ || a_rows_.empty()) return 0.0;
+  return static_cast<double>(factor_nnz()) /
+         static_cast<double>(a_rows_.size());
+}
+
+}  // namespace pgmcml::util
