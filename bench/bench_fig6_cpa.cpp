@@ -26,6 +26,7 @@
 #include "pgmcml/core/dpa_flow.hpp"
 #include "pgmcml/sca/accumulator.hpp"
 #include "pgmcml/sca/tvla.hpp"
+#include "pgmcml/util/env.hpp"
 #include "pgmcml/util/table.hpp"
 
 namespace {
@@ -34,10 +35,9 @@ using namespace pgmcml;
 using cells::CellLibrary;
 
 std::size_t trace_budget() {
-  if (const char* env = std::getenv("PGMCML_FIG6_TRACES")) {
-    return static_cast<std::size_t>(std::atoll(env));
-  }
-  return 4000;
+  return static_cast<std::size_t>(
+      util::env_u64("PGMCML_FIG6_TRACES", 4, std::uint64_t{1} << 30)
+          .value_or(4000));
 }
 
 double now_seconds() {

@@ -1,0 +1,650 @@
+#include "pgmcml/campaign/campaign.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "pgmcml/campaign/checkpoint.hpp"
+#include "pgmcml/core/dpa_flow.hpp"
+#include "pgmcml/obs/obs.hpp"
+#include "pgmcml/util/parallel.hpp"
+
+namespace pgmcml::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr sca::LeakageModel kModel = sca::LeakageModel::kHammingWeight;
+
+const cells::CellLibrary& library_for(cells::LogicStyle style) {
+  static const cells::CellLibrary cmos = cells::CellLibrary::cmos90();
+  static const cells::CellLibrary mcml = cells::CellLibrary::mcml90();
+  static const cells::CellLibrary pgmcml = cells::CellLibrary::pgmcml90();
+  switch (style) {
+    case cells::LogicStyle::kCmos: return cmos;
+    case cells::LogicStyle::kMcml: return mcml;
+    case cells::LogicStyle::kPgMcml: return pgmcml;
+  }
+  throw std::invalid_argument("campaign: unknown logic style");
+}
+
+void validate(const CampaignOptions& o) {
+  if (o.num_traces == 0) {
+    throw std::invalid_argument("campaign: num_traces must be > 0");
+  }
+  if (o.samples == 0) {
+    throw std::invalid_argument("campaign: samples must be > 0");
+  }
+  if (o.num_workers == 0) {
+    throw std::invalid_argument("campaign: num_workers must be > 0");
+  }
+  if (o.checkpoint_every == 0) {
+    throw std::invalid_argument("campaign: checkpoint_every must be > 0");
+  }
+  if (o.spool_dir.empty()) {
+    throw std::invalid_argument("campaign: spool_dir must be set");
+  }
+}
+
+std::string checkpoint_path(const CampaignOptions& o, std::uint64_t shard) {
+  return o.spool_dir + "/shard-" + std::to_string(shard) + ".ckpt";
+}
+
+std::string heartbeat_path(const CampaignOptions& o, std::uint64_t shard) {
+  return o.spool_dir + "/shard-" + std::to_string(shard) + ".hb";
+}
+
+/// Best-effort liveness beacon: visibility matters, durability does not.  A
+/// torn read parses as garbage and counts as "unchanged", which only delays
+/// the hang verdict by one poll.
+void write_heartbeat(const std::string& path, std::uint64_t value) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return;
+  std::fprintf(f, "%llu\n", static_cast<unsigned long long>(value));
+  std::fclose(f);
+}
+
+std::uint64_t read_heartbeat(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  unsigned long long value = 0;
+  const int got = std::fscanf(f, "%llu", &value);
+  std::fclose(f);
+  return got == 1 ? value : 0;
+}
+
+WorkerCheckpoint fresh_state(const CampaignOptions& o, std::uint64_t shard) {
+  WorkerCheckpoint state(kModel, o.samples);
+  state.shard = shard;
+  state.range_lo = o.shard_lo(shard);
+  state.range_hi = o.shard_hi(shard);
+  state.next_index = state.range_lo;
+  return state;
+}
+
+/// The ONE per-shard fold, shared verbatim by the serial reference and the
+/// (possibly crashed-and-resumed) workers: stream the shard's remaining
+/// range phase by phase through the acquisition source into the checkpoint
+/// accumulators.  `on_checkpoint`/`heartbeat` are null in the serial path;
+/// neither influences a single floating-point operation, which is the whole
+/// bitwise-equality argument.
+void run_shard_range(
+    const CampaignOptions& o, const cells::CellLibrary& library,
+    WorkerCheckpoint& state, int restart,
+    const std::function<void(const WorkerCheckpoint&)>* on_checkpoint,
+    const std::function<void()>* heartbeat) {
+  const std::uint32_t phases = o.tvla ? 2 : 1;
+  for (std::uint32_t phase = state.phase; phase < phases; ++phase) {
+    if (state.phase != phase) {
+      state.phase = phase;
+      state.next_index = state.range_lo;
+    }
+    if (state.next_index >= state.range_hi) continue;
+
+    core::DpaFlowOptions flow;
+    flow.first_trace = state.next_index;
+    flow.num_traces = state.range_hi - state.next_index;
+    flow.key = o.key;
+    // The fixed class is its own acquisition stream (seed+1): independent
+    // noise, same index keying, mirroring the two-source TVLA convention of
+    // bench_fig6_cpa.
+    flow.seed = o.seed + phase;
+    flow.dt = o.dt;
+    flow.samples = o.samples;
+    flow.noise_sigma = o.noise_sigma;
+    flow.gate_per_operation = o.gate_per_operation;
+    flow.spice_kernels = o.spice_kernels;
+    flow.batch_size = o.batch_size;
+    flow.fixed_plaintext =
+        phase == kPhaseFixed ? static_cast<int>(o.fixed_plaintext) : -1;
+    if (o.worker_fault_hook) {
+      const std::uint64_t shard = state.shard;
+      auto hook = o.worker_fault_hook;
+      flow.acquisition_fault_hook = [shard, restart, hook](std::size_t t,
+                                                           int attempt) {
+        hook(shard, restart, t, attempt);
+      };
+    }
+
+    auto source = core::make_acquisition_source(library, flow);
+    const spice::FlowDiagnostics diag_base = state.diagnostics;
+    const std::uint64_t phase_start = state.next_index;
+    std::size_t last_checkpoint = 0;
+    sca::TraceBatch batch;
+    while (source->next(batch)) {
+      if (phase == kPhaseRandom) {
+        state.cpa.add_batch(batch);
+        state.dpa.add_batch(batch);
+        if (o.tvla) {
+          for (std::size_t i = 0; i < batch.size(); ++i) {
+            state.tvla.add(false, batch.traces[i]);
+          }
+        }
+      } else {
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          state.tvla.add(true, batch.traces[i]);
+        }
+      }
+      // The resume cursor counts ATTEMPTED traces (skipped ones included),
+      // read from the source: one next() can span several internal batches
+      // when every trace of a batch is skipped.
+      const std::size_t consumed = source->traces_consumed();
+      state.next_index = phase_start + consumed;
+      state.diagnostics = diag_base;
+      state.diagnostics.merge(source->diagnostics());
+      if (heartbeat != nullptr) (*heartbeat)();
+      if (on_checkpoint != nullptr &&
+          consumed - last_checkpoint >= o.checkpoint_every) {
+        ++state.checkpoints_written;
+        (*on_checkpoint)(state);
+        last_checkpoint = consumed;
+      }
+    }
+    // A trailing run of skipped traces ends the stream without a final
+    // non-empty batch; fold the cursor and diagnostics they left behind.
+    state.next_index = phase_start + source->traces_consumed();
+    state.diagnostics = diag_base;
+    state.diagnostics.merge(source->diagnostics());
+  }
+  state.phase = kPhaseDone;
+}
+
+/// Worker process body: resume from the durable checkpoint (or fresh),
+/// stream the shard, publish the final kPhaseDone checkpoint.  Runs inside
+/// the forked child; the caller _Exit()s, so throwing is fatal-by-exit-code.
+void worker_process(const CampaignOptions& o,
+                    const cells::CellLibrary& library, std::uint64_t shard,
+                    int restart, std::uint64_t config_digest) {
+  const std::string ckpt = checkpoint_path(o, shard);
+  const std::string hb = heartbeat_path(o, shard);
+  std::uint64_t beats = 0;
+  const std::function<void()> heartbeat = [&] {
+    write_heartbeat(hb, ++beats);
+  };
+  heartbeat();  // liveness starts at the first instruction, not first batch
+
+  auto resumed = load_checkpoint(ckpt, kModel, o.samples, config_digest);
+  WorkerCheckpoint state =
+      resumed ? std::move(*resumed) : fresh_state(o, shard);
+  if (state.phase == kPhaseDone) return;  // a restart raced a completion
+
+  const std::function<void(const WorkerCheckpoint&)> publish =
+      [&](const WorkerCheckpoint& s) {
+        const std::function<void()> pre = [&] {
+          if (o.pre_publish_hook) {
+            o.pre_publish_hook(shard, restart, s.checkpoints_written);
+          }
+        };
+        if (!save_checkpoint(ckpt, s, config_digest, &pre)) {
+          throw std::runtime_error("campaign: checkpoint write failed: " +
+                                   ckpt);
+        }
+        heartbeat();
+        if (o.post_checkpoint_hook) {
+          o.post_checkpoint_hook(shard, restart, s.checkpoints_written);
+        }
+      };
+
+  run_shard_range(o, library, state, restart, &publish, &heartbeat);
+  ++state.checkpoints_written;
+  publish(state);
+}
+
+// -------------------------------------------------------------------------
+// Index-ordered merge: the single arithmetic path both runs share.
+
+struct MergeOutput {
+  sca::CpaAccumulator cpa;
+  sca::DpaAccumulator dpa;
+  sca::TvlaAccumulator tvla;
+  MergeOutput(sca::LeakageModel model, std::size_t samples)
+      : cpa(model, samples), dpa(samples), tvla(samples) {}
+};
+
+/// Merges per-shard states in ascending shard order into `result`.  Absent
+/// states (no durable checkpoint ever published) contribute nothing and
+/// their full range is reported skipped; partial states contribute their
+/// durable prefix.  MTD is evaluated at shard boundaries: the smallest
+/// cumulative trace count from which the true key's rank stays 0.
+void merge_checkpoints(
+    const CampaignOptions& o,
+    const std::vector<std::optional<WorkerCheckpoint>>& states,
+    CampaignResult& result) {
+  obs::ScopedTimer span("campaign.merge");
+  MergeOutput merged(kModel, o.samples);
+  std::vector<std::pair<std::uint64_t, int>> boundaries;  // (traces, rank)
+  for (std::size_t s = 0; s < states.size(); ++s) {
+    const std::uint64_t lo = o.shard_lo(s);
+    const std::uint64_t hi = o.shard_hi(s);
+    if (!states[s].has_value()) {
+      result.skipped_ranges.push_back({lo, hi, kPhaseRandom});
+      if (o.tvla) result.skipped_ranges.push_back({lo, hi, kPhaseFixed});
+      continue;
+    }
+    const WorkerCheckpoint& st = *states[s];
+    merged.cpa.merge(st.cpa);
+    merged.dpa.merge(st.dpa);
+    merged.tvla.merge(st.tvla);
+    result.diagnostics.merge(st.diagnostics);
+    if (st.phase == kPhaseRandom) {
+      if (st.next_index < hi) {
+        result.skipped_ranges.push_back({st.next_index, hi, kPhaseRandom});
+      }
+      if (o.tvla) result.skipped_ranges.push_back({lo, hi, kPhaseFixed});
+    } else if (st.phase == kPhaseFixed && st.next_index < hi) {
+      result.skipped_ranges.push_back({st.next_index, hi, kPhaseFixed});
+    }
+    if (o.compute_mtd) {
+      boundaries.emplace_back(merged.cpa.num_traces(),
+                              merged.cpa.snapshot().key_rank(o.key));
+    }
+  }
+  result.traces_accumulated = merged.cpa.num_traces();
+  result.cpa = merged.cpa.snapshot();
+  result.dpa = merged.dpa.snapshot();
+  if (o.tvla) result.tvla = merged.tvla.snapshot();
+  result.key_rank = result.cpa.key_rank(o.key);
+  result.margin = result.cpa.margin(o.key);
+  result.mtd = 0;
+  if (o.compute_mtd && !boundaries.empty() && boundaries.back().second == 0) {
+    for (auto it = boundaries.rbegin(); it != boundaries.rend(); ++it) {
+      if (it->second != 0) break;
+      result.mtd = it->first;
+    }
+  }
+  obs::Registry::global()
+      .counter("campaign.traces_merged")
+      .add(result.traces_accumulated);
+}
+
+// -------------------------------------------------------------------------
+// Coordinator
+
+struct ActiveWorker {
+  pid_t pid = -1;
+  std::uint64_t shard = 0;
+  int restart = 0;
+  std::uint64_t heartbeat = 0;
+  Clock::time_point heartbeat_changed;
+  bool killed_for_hang = false;
+};
+
+struct PendingShard {
+  std::uint64_t shard = 0;
+  int restart = 0;
+  Clock::time_point ready;
+};
+
+pid_t spawn_worker(const CampaignOptions& o,
+                   const cells::CellLibrary& library, std::uint64_t shard,
+                   int restart, std::uint64_t config_digest) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  // Child.  The coordinator tore its thread pool down before forking, so we
+  // inherit a single-threaded process; give the worker its own budget.
+  // _Exit (not exit) keeps the parent's atexit/gtest machinery out of the
+  // child -- the coordinator learns everything it needs from the exit code
+  // and the spool.
+  util::set_parallel_threads(o.worker_threads == 0 ? 1 : o.worker_threads);
+  try {
+    worker_process(o, library, shard, restart, config_digest);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign worker (shard %llu): %s\n",
+                 static_cast<unsigned long long>(shard), e.what());
+    ::_Exit(3);
+  } catch (...) {
+    ::_Exit(3);
+  }
+  ::_Exit(0);
+}
+
+}  // namespace
+
+// -------------------------------------------------------------------------
+// Options geometry
+
+std::size_t CampaignOptions::effective_shard_size() const {
+  if (shard_size != 0) return shard_size;
+  // Auto layout: 16 shards, NOT a function of num_workers -- the shard
+  // geometry (and with it the merge order, the config digest, and every
+  // spooled checkpoint) must survive re-running the campaign with a
+  // different worker count.
+  return std::max<std::size_t>(1, (num_traces + 15) / 16);
+}
+
+std::size_t CampaignOptions::shard_count() const {
+  const std::size_t size = effective_shard_size();
+  return (num_traces + size - 1) / size;
+}
+
+std::size_t CampaignOptions::shard_lo(std::size_t shard) const {
+  return shard * effective_shard_size();
+}
+
+std::size_t CampaignOptions::shard_hi(std::size_t shard) const {
+  return std::min(num_traces, (shard + 1) * effective_shard_size());
+}
+
+std::uint64_t campaign_config_digest(const CampaignOptions& options) {
+  // Canonical string over every option that shapes the trace stream or the
+  // shard layout.  Floats go in as raw bits: a digest over "%g" text would
+  // alias distinct configurations.
+  std::uint64_t dt_bits = 0;
+  std::uint64_t noise_bits = 0;
+  std::memcpy(&dt_bits, &options.dt, sizeof(dt_bits));
+  std::memcpy(&noise_bits, &options.noise_sigma, sizeof(noise_bits));
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf), "pgc1|%d|%zu|%zu|%u|%llu|%llx|%llx|%d|%d|%u|%d|%zu",
+      static_cast<int>(options.style), options.num_traces, options.samples,
+      options.key, static_cast<unsigned long long>(options.seed),
+      static_cast<unsigned long long>(dt_bits),
+      static_cast<unsigned long long>(noise_bits),
+      options.gate_per_operation ? 1 : 0, options.spice_kernels ? 1 : 0,
+      options.fixed_plaintext, options.tvla ? 1 : 0,
+      options.effective_shard_size());
+  return fnv1a64(buf);
+}
+
+// -------------------------------------------------------------------------
+
+CampaignResult run_campaign_serial(const CampaignOptions& user_options) {
+  validate(user_options);
+  obs::ScopedTimer span("campaign.serial");
+  // The serial reference is the CLEAN campaign: the fault-injection seams
+  // target worker processes and supervision, neither of which exists here
+  // (an in-process raise(SIGKILL) would take the caller down with it).
+  CampaignOptions options = user_options;
+  options.pre_publish_hook = nullptr;
+  options.post_checkpoint_hook = nullptr;
+  options.worker_fault_hook = nullptr;
+  const cells::CellLibrary& library = library_for(options.style);
+  const std::size_t shards = options.shard_count();
+  std::vector<std::optional<WorkerCheckpoint>> states;
+  states.reserve(shards);
+  CampaignResult result;
+  for (std::size_t s = 0; s < shards; ++s) {
+    WorkerCheckpoint state = fresh_state(options, s);
+    run_shard_range(options, library, state, /*restart=*/0, nullptr, nullptr);
+    ShardOutcome outcome;
+    outcome.shard = s;
+    outcome.range_lo = state.range_lo;
+    outcome.range_hi = state.range_hi;
+    outcome.completed = true;
+    outcome.random_attempted = state.range_hi - state.range_lo;
+    outcome.fixed_attempted =
+        options.tvla ? state.range_hi - state.range_lo : 0;
+    result.shards.push_back(outcome);
+    states.push_back(std::move(state));
+  }
+  merge_checkpoints(options, states, result);
+  return result;
+}
+
+CampaignResult run_campaign(const CampaignOptions& options) {
+  validate(options);
+  obs::ScopedTimer span("campaign.distributed");
+  const cells::CellLibrary& library = library_for(options.style);
+  const std::uint64_t digest = campaign_config_digest(options);
+
+  std::error_code ec;
+  std::filesystem::create_directories(options.spool_dir, ec);
+  if (ec) {
+    throw std::runtime_error("campaign: cannot create spool dir '" +
+                             options.spool_dir + "': " + ec.message());
+  }
+
+  static struct Handles {
+    obs::Counter spawned, restarts, timeouts, completed, skipped, ckpt_bytes;
+    Handles()
+        : spawned(obs::Registry::global().counter(
+              "campaign.workers_spawned")),
+          restarts(obs::Registry::global().counter("campaign.restarts")),
+          timeouts(obs::Registry::global().counter(
+              "campaign.heartbeat_timeouts")),
+          completed(obs::Registry::global().counter(
+              "campaign.shards_completed")),
+          skipped(obs::Registry::global().counter("campaign.shards_skipped")),
+          ckpt_bytes(obs::Registry::global().counter(
+              "campaign.checkpoint_bytes_read")) {}
+  } handles;
+
+  const std::size_t shards = options.shard_count();
+  CampaignResult result;
+  result.shards.resize(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    result.shards[s].shard = s;
+    result.shards[s].range_lo = options.shard_lo(s);
+    result.shards[s].range_hi = options.shard_hi(s);
+  }
+
+  // fork() and a live thread pool do not mix: the child would inherit a
+  // pool whose threads died at the fork.  Tear the pool down for the whole
+  // supervision window and restore the caller's setting afterwards.
+  const std::size_t prev_threads = util::set_parallel_threads(1);
+
+  std::deque<PendingShard> pending;
+  for (std::size_t s = 0; s < shards; ++s) {
+    pending.push_back({s, 0, Clock::now()});
+  }
+  std::vector<ActiveWorker> active;
+  std::size_t settled = 0;  // completed + skipped
+
+  const auto poll_sleep = std::chrono::duration<double>(
+      options.poll_interval_s > 0 ? options.poll_interval_s : 0.01);
+  const auto hb_timeout =
+      std::chrono::duration<double>(options.heartbeat_timeout_s);
+
+  const auto fail_shard = [&](std::uint64_t shard, int restart) {
+    ShardOutcome& outcome = result.shards[shard];
+    if (static_cast<std::size_t>(restart) >= options.max_restarts) {
+      // Retry budget exhausted: graceful degradation.  The shard's durable
+      // prefix still merges below; only the tail is lost.
+      outcome.completed = false;
+      outcome.restarts = restart;
+      ++result.shards_skipped;
+      ++settled;
+      handles.skipped.add(1);
+      return;
+    }
+    ++result.restarts;
+    handles.restarts.add(1);
+    outcome.restarts = restart + 1;
+    const double delay =
+        std::min(options.backoff_cap_s,
+                 options.backoff_base_s * static_cast<double>(1ull << std::min(
+                                              restart, 20)));
+    pending.push_back(
+        {shard, restart + 1,
+         Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(delay))});
+  };
+
+  while (settled < shards) {
+    // Spawn up to the worker budget from the ready end of the queue.
+    const Clock::time_point now = Clock::now();
+    for (auto it = pending.begin();
+         it != pending.end() && active.size() < options.num_workers;) {
+      if (it->ready > now) {
+        ++it;
+        continue;
+      }
+      const pid_t pid =
+          spawn_worker(options, library, it->shard, it->restart, digest);
+      if (pid < 0) {
+        if (active.empty()) {
+          util::set_parallel_threads(prev_threads);
+          throw std::runtime_error("campaign: fork failed with no workers "
+                                   "in flight");
+        }
+        break;  // EAGAIN under load: retry once something is reaped
+      }
+      ++result.workers_spawned;
+      handles.spawned.add(1);
+      ActiveWorker w;
+      w.pid = pid;
+      w.shard = it->shard;
+      w.restart = it->restart;
+      w.heartbeat = read_heartbeat(heartbeat_path(options, it->shard));
+      w.heartbeat_changed = Clock::now();
+      active.push_back(w);
+      it = pending.erase(it);
+    }
+
+    // Reap exits and enforce heartbeats.
+    for (std::size_t i = 0; i < active.size();) {
+      ActiveWorker& w = active[i];
+      int status = 0;
+      const pid_t reaped = ::waitpid(w.pid, &status, WNOHANG);
+      if (reaped == w.pid) {
+        const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        bool done = false;
+        if (clean) {
+          const auto state = load_checkpoint(
+              checkpoint_path(options, w.shard), kModel, options.samples,
+              digest);
+          done = state.has_value() && state->phase == kPhaseDone;
+        }
+        if (done) {
+          ShardOutcome& outcome = result.shards[w.shard];
+          outcome.completed = true;
+          outcome.restarts = w.restart;
+          ++settled;
+          handles.completed.add(1);
+        } else {
+          fail_shard(w.shard, w.restart);
+        }
+        active[i] = active.back();
+        active.pop_back();
+        continue;
+      }
+      if (reaped == 0 && !w.killed_for_hang) {
+        const std::uint64_t beat =
+            read_heartbeat(heartbeat_path(options, w.shard));
+        const Clock::time_point t = Clock::now();
+        if (beat != w.heartbeat) {
+          w.heartbeat = beat;
+          w.heartbeat_changed = t;
+        } else if (t - w.heartbeat_changed > hb_timeout) {
+          // Hung (a worker stuck inside one simulation never beats): kill
+          // and let the normal reap path restart it from its checkpoint.
+          ::kill(w.pid, SIGKILL);
+          w.killed_for_hang = true;
+          ++result.heartbeat_timeouts;
+          handles.timeouts.add(1);
+        }
+      }
+      ++i;
+    }
+    if (settled < shards) std::this_thread::sleep_for(poll_sleep);
+  }
+  util::set_parallel_threads(prev_threads);
+
+  // Merge whatever the spool holds, index-ordered: full shards, and the
+  // durable prefixes of skipped ones.
+  std::vector<std::optional<WorkerCheckpoint>> states;
+  states.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    auto state = load_checkpoint(checkpoint_path(options, s), kModel,
+                                 options.samples, digest);
+    if (state.has_value()) {
+      std::error_code size_ec;
+      const auto bytes = std::filesystem::file_size(
+          checkpoint_path(options, s), size_ec);
+      if (!size_ec) handles.ckpt_bytes.add(bytes);
+      ShardOutcome& outcome = result.shards[s];
+      const std::uint64_t span_lo = outcome.range_lo;
+      if (state->phase == kPhaseRandom) {
+        outcome.random_attempted = state->next_index - span_lo;
+      } else {
+        outcome.random_attempted = outcome.range_hi - span_lo;
+        if (state->phase == kPhaseFixed) {
+          outcome.fixed_attempted = state->next_index - span_lo;
+        } else if (options.tvla) {
+          outcome.fixed_attempted = outcome.range_hi - span_lo;
+        }
+      }
+    }
+    states.push_back(std::move(state));
+  }
+  merge_checkpoints(options, states, result);
+  return result;
+}
+
+// -------------------------------------------------------------------------
+
+obs::json::Value CampaignResult::to_json() const {
+  using obs::json::Array;
+  using obs::json::Object;
+  using obs::json::Value;
+  Object root;
+  root.emplace_back("key_rank", Value(key_rank));
+  root.emplace_back("margin", Value(margin));
+  root.emplace_back("mtd", Value(static_cast<std::uint64_t>(mtd)));
+  root.emplace_back("tvla_max_abs_t", Value(tvla.max_abs_t));
+  root.emplace_back("tvla_leaks", Value(tvla.leaks()));
+  root.emplace_back("traces_accumulated", Value(traces_accumulated));
+  root.emplace_back("workers_spawned", Value(workers_spawned));
+  root.emplace_back("restarts", Value(restarts));
+  root.emplace_back("heartbeat_timeouts", Value(heartbeat_timeouts));
+  root.emplace_back("shards_skipped", Value(shards_skipped));
+  root.emplace_back("degraded", Value(degraded()));
+  Array skipped;
+  for (const SkippedRange& r : skipped_ranges) {
+    Object range;
+    range.emplace_back("lo", Value(r.lo));
+    range.emplace_back("hi", Value(r.hi));
+    range.emplace_back("phase",
+                       Value(r.phase == kPhaseFixed ? "fixed" : "random"));
+    skipped.emplace_back(std::move(range));
+  }
+  root.emplace_back("skipped_ranges", Value(std::move(skipped)));
+  Array shard_list;
+  for (const ShardOutcome& s : shards) {
+    Object shard;
+    shard.emplace_back("shard", Value(s.shard));
+    shard.emplace_back("lo", Value(s.range_lo));
+    shard.emplace_back("hi", Value(s.range_hi));
+    shard.emplace_back("completed", Value(s.completed));
+    shard.emplace_back("restarts", Value(s.restarts));
+    shard.emplace_back("random_attempted", Value(s.random_attempted));
+    shard.emplace_back("fixed_attempted", Value(s.fixed_attempted));
+    shard_list.emplace_back(std::move(shard));
+  }
+  root.emplace_back("shards", Value(std::move(shard_list)));
+  root.emplace_back("diagnostics", diagnostics.to_json_value());
+  return Value(std::move(root));
+}
+
+}  // namespace pgmcml::campaign

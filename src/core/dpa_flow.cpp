@@ -184,13 +184,17 @@ class ReducedAesSource final : public AcquisitionSource {
     return diagnostics_;
   }
   double mean_current() const override { return current_stats_.mean(); }
+  std::size_t traces_consumed() const override { return cursor_; }
   const netlist::Design::Stats& design_stats() const override {
     return stats_;
   }
 
  private:
   void simulate_slot(std::size_t base, std::size_t i) {
-    const std::size_t t = base + i;
+    // Global campaign index: everything per-trace (Rng stream, noise nonce,
+    // fault hook, diagnostics stage label) keys on it, never on the local
+    // offset, so range-sharded sources reproduce the [0, N) stream exactly.
+    const std::size_t t = options_.first_trace + base + i;
     trace_diag_[i].record_attempt();
     const std::string stage = "trace:" + std::to_string(t);
     for (int attempt = 0; attempt < 2; ++attempt) {

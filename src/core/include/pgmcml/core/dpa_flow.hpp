@@ -26,6 +26,12 @@ namespace pgmcml::core {
 
 struct DpaFlowOptions {
   std::size_t num_traces = 2000;
+  /// Global index of the first trace this source produces.  Rng streams,
+  /// noise nonces, and the fault hook are keyed on the GLOBAL index
+  /// (first_trace + local offset), so a source over [k, k + n) emits traces
+  /// bitwise identical to traces k..k+n-1 of a source over [0, N) -- the
+  /// contract that lets a sharded campaign split and resume ranges freely.
+  std::size_t first_trace = 0;
   std::uint8_t key = 0x2b;
   std::uint64_t seed = 7;
   /// Trace grid: 2 ps steps covering the evaluation window after the
@@ -90,6 +96,12 @@ class AcquisitionSource : public sca::TraceSource {
   virtual const spice::FlowDiagnostics& diagnostics() const = 0;
   /// Mean supply current over the traces produced so far [A].
   virtual double mean_current() const = 0;
+  /// Traces ATTEMPTED so far (skipped traces included): the resume cursor a
+  /// checkpointing consumer persists.  A new source with first_trace
+  /// advanced by this count continues the identical global trace sequence.
+  /// One next() call can consume more than one batch_size when every trace
+  /// of a batch is skipped, so consumers must read this, not infer it.
+  virtual std::size_t traces_consumed() const = 0;
   /// Synthesis stats of the mapped target.
   virtual const netlist::Design::Stats& design_stats() const = 0;
 };

@@ -440,6 +440,11 @@ bool save_file_atomic(const std::string& path, const Value& v, int indent) {
   bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
   ok = ok && std::fputc('\n', f) != EOF;
   ok = std::fflush(f) == 0 && ok;
+  // fsync before the rename: rename(2) is atomic in the namespace but says
+  // nothing about data durability, so without this a crash shortly after the
+  // rename could leave the *visible* file empty or torn.  With it, once the
+  // new name exists its content is complete on stable storage.
+  ok = ok && ::fsync(::fileno(f)) == 0;
   std::fclose(f);
   if (ok) ok = std::rename(tmp.c_str(), path.c_str()) == 0;
   if (!ok) std::remove(tmp.c_str());

@@ -460,6 +460,137 @@ std::size_t MtdTracker::finish() {
 }
 
 // ---------------------------------------------------------------------------
+// Bitwise state serialization.  Every double crosses the boundary as its
+// exact bit pattern (SnapshotWriter::f64), so save/load round-trips resume
+// the identical arithmetic -- the invariant the campaign checkpoint tests
+// pin with memcmp-level comparisons.  Scratch members (dh_old_,
+// is_fixed_scratch_, MtdTracker::scratch_) are deliberately excluded: they
+// carry no state between batches.
+
+namespace {
+
+constexpr std::uint32_t kMaxLeakageModel =
+    static_cast<std::uint32_t>(LeakageModel::kIdentity);
+
+void save_span(SnapshotWriter& w, const double* data, std::size_t n) {
+  w.f64_span(std::span<const double>(data, n));
+}
+
+void load_exact(SnapshotReader& r, double* data, std::size_t n) {
+  std::vector<double> tmp;
+  r.f64_into(tmp, n);
+  std::copy(tmp.begin(), tmp.end(), data);
+}
+
+}  // namespace
+
+void CpaAccumulator::save(SnapshotWriter& w) const {
+  w.tag("CPA1");
+  w.u32(static_cast<std::uint32_t>(model_));
+  w.u64(m_);
+  w.u64(n_);
+  save_span(w, mean_h_.data(), mean_h_.size());
+  save_span(w, m2_h_.data(), m2_h_.size());
+  save_span(w, mean_s_.data(), mean_s_.size());
+  save_span(w, m2_s_.data(), m2_s_.size());
+  for (const auto& row : comoment_) save_span(w, row.data(), row.size());
+}
+
+CpaAccumulator CpaAccumulator::load(SnapshotReader& r) {
+  r.expect_tag("CPA1");
+  const std::uint32_t model = r.u32();
+  if (model > kMaxLeakageModel) {
+    throw std::runtime_error("CpaAccumulator::load: unknown leakage model");
+  }
+  const std::size_t m = static_cast<std::size_t>(r.u64());
+  CpaAccumulator acc(static_cast<LeakageModel>(model), m);
+  acc.n_ = static_cast<std::size_t>(r.u64());
+  load_exact(r, acc.mean_h_.data(), acc.mean_h_.size());
+  load_exact(r, acc.m2_h_.data(), acc.m2_h_.size());
+  r.f64_into(acc.mean_s_, m);
+  r.f64_into(acc.m2_s_, m);
+  for (auto& row : acc.comoment_) load_exact(r, row.data(), row.size());
+  return acc;
+}
+
+void DpaAccumulator::save(SnapshotWriter& w) const {
+  w.tag("DPA1");
+  w.u64(m_);
+  w.u64(n_);
+  for (const std::size_t n1 : n1_) w.u64(n1);
+  save_span(w, sum1_.data(), sum1_.size());
+  save_span(w, sum0_.data(), sum0_.size());
+}
+
+DpaAccumulator DpaAccumulator::load(SnapshotReader& r) {
+  r.expect_tag("DPA1");
+  const std::size_t m = static_cast<std::size_t>(r.u64());
+  DpaAccumulator acc(m);
+  acc.n_ = static_cast<std::size_t>(r.u64());
+  for (auto& n1 : acc.n1_) n1 = static_cast<std::size_t>(r.u64());
+  r.f64_into(acc.sum1_, 256 * m);
+  r.f64_into(acc.sum0_, 256 * m);
+  return acc;
+}
+
+void TvlaAccumulator::save(SnapshotWriter& w) const {
+  w.tag("TVL1");
+  w.u64(m_);
+  w.u64(na_);
+  w.u64(nb_);
+  save_span(w, mean_a_.data(), mean_a_.size());
+  save_span(w, m2_a_.data(), m2_a_.size());
+  save_span(w, mean_b_.data(), mean_b_.size());
+  save_span(w, m2_b_.data(), m2_b_.size());
+}
+
+TvlaAccumulator TvlaAccumulator::load(SnapshotReader& r) {
+  r.expect_tag("TVL1");
+  const std::size_t m = static_cast<std::size_t>(r.u64());
+  TvlaAccumulator acc(m);
+  acc.na_ = static_cast<std::size_t>(r.u64());
+  acc.nb_ = static_cast<std::size_t>(r.u64());
+  r.f64_into(acc.mean_a_, m);
+  r.f64_into(acc.m2_a_, m);
+  r.f64_into(acc.mean_b_, m);
+  r.f64_into(acc.m2_b_, m);
+  return acc;
+}
+
+void MtdTracker::save(SnapshotWriter& w) const {
+  w.tag("MTD1");
+  acc_.save(w);
+  w.u8(true_key_);
+  w.u64(next_grid_);
+  w.u64(grid_.size());
+  for (const std::size_t g : grid_) w.u64(g);
+  for (const char s : success_) w.u8(static_cast<std::uint8_t>(s));
+}
+
+MtdTracker MtdTracker::load(SnapshotReader& r) {
+  r.expect_tag("MTD1");
+  CpaAccumulator acc = CpaAccumulator::load(r);
+  const std::uint8_t true_key = r.u8();
+  const std::size_t next_grid = static_cast<std::size_t>(r.u64());
+  const std::size_t grid_size = static_cast<std::size_t>(r.u64());
+  if (grid_size > r.remaining() / sizeof(std::uint64_t)) {
+    throw std::runtime_error("MtdTracker::load: grid length exceeds stream");
+  }
+  // expected_traces = 0 builds an empty grid; the recorded one replaces it.
+  MtdTracker tracker(acc.model(), acc.samples_per_trace(), true_key, 0);
+  tracker.acc_ = std::move(acc);
+  tracker.grid_.resize(grid_size);
+  for (auto& g : tracker.grid_) g = static_cast<std::size_t>(r.u64());
+  tracker.success_.resize(grid_size);
+  for (auto& s : tracker.success_) s = static_cast<char>(r.u8());
+  if (next_grid > grid_size) {
+    throw std::runtime_error("MtdTracker::load: grid cursor out of range");
+  }
+  tracker.next_grid_ = next_grid;
+  return tracker;
+}
+
+// ---------------------------------------------------------------------------
 
 CpaAccumulator cpa_accumulate_sharded(const TraceSet& traces,
                                       LeakageModel model,

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "pgmcml/sca/attack.hpp"
+#include "pgmcml/sca/snapshot.hpp"
 #include "pgmcml/sca/trace_source.hpp"
 #include "pgmcml/sca/tvla.hpp"
 
@@ -60,6 +61,11 @@ class CpaAccumulator {
   /// Correlation snapshot after any number of traces (best_guess = -1 while
   /// fewer than 2 traces have been seen, matching the batch attack).
   CpaResult snapshot(bool keep_time_curves = false) const;
+
+  /// Bitwise state serialization: load(save(x)) resumes the identical
+  /// arithmetic sequence (the campaign checkpoint/recovery contract).
+  void save(SnapshotWriter& w) const;
+  static CpaAccumulator load(SnapshotReader& r);
 
  private:
   LeakageModel model_;
@@ -95,6 +101,10 @@ class DpaAccumulator {
   void merge(const DpaAccumulator& other);
   DpaResult snapshot() const;
 
+  /// Bitwise state serialization (see CpaAccumulator::save).
+  void save(SnapshotWriter& w) const;
+  static DpaAccumulator load(SnapshotReader& r);
+
  private:
   std::size_t m_;
   std::size_t n_ = 0;
@@ -127,6 +137,10 @@ class TvlaAccumulator {
   /// Welch t per sample; empty t_statistic until both classes have >= 2
   /// traces, matching the batch tvla_t_test.
   TvlaResult snapshot() const;
+
+  /// Bitwise state serialization (see CpaAccumulator::save).
+  void save(SnapshotWriter& w) const;
+  static TvlaAccumulator load(SnapshotReader& r);
 
  private:
   std::size_t m_;
@@ -163,6 +177,12 @@ class MtdTracker {
     return acc_.snapshot(keep_time_curves);
   }
   const CpaAccumulator& accumulator() const { return acc_; }
+
+  /// Bitwise state serialization: the accumulator plus the grid position and
+  /// the checkpoint verdicts recorded so far, so a resumed tracker reports
+  /// the same MTD as one that streamed the campaign uninterrupted.
+  void save(SnapshotWriter& w) const;
+  static MtdTracker load(SnapshotReader& r);
 
  private:
   void checkpoint();

@@ -59,6 +59,9 @@ class TraceFileReader final : public TraceSource {
  public:
   /// Opens and validates `path`.  Throws std::runtime_error on a missing
   /// file, bad magic/version, or a length inconsistent with the header.
+  /// A zero-length or shorter-than-header file (a writer crashed before its
+  /// first flush) is NOT an error: it reads as a clean empty source
+  /// (samples_per_trace() == 0, next() returns false immediately).
   explicit TraceFileReader(const std::string& path,
                            std::size_t batch_size = kDefaultTraceBatch);
   ~TraceFileReader() override;
@@ -78,6 +81,7 @@ class TraceFileReader final : public TraceSource {
   std::size_t count_ = 0;
   std::size_t cursor_ = 0;
   std::size_t batch_size_;
+  bool empty_ = false;  ///< crash-before-first-flush file: clean "no data"
   /// Row buffers reused by every batch (the bounded-memory guarantee).
   std::vector<std::vector<double>> rows_;
 };

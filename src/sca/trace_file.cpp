@@ -96,6 +96,21 @@ TraceFileReader::TraceFileReader(const std::string& path,
   }
   file_ = std::fopen(path.c_str(), "rb");
   if (file_ == nullptr) io_fail(path_, "cannot open for reading");
+  // A writer that crashed before its first flush leaves a zero-length file
+  // (stdio buffers the header), and one that died mid-header-flush leaves
+  // fewer bytes than a header.  Neither can contain a single record, so both
+  // read as a clean empty campaign ("no data yet"), not as corruption --
+  // exactly what a recovering campaign coordinator wants from a spool
+  // directory of partially written shards.
+  if (std::fseek(file_, 0, SEEK_END) != 0) io_fail(path_, "seek failed");
+  const long file_bytes = std::ftell(file_);
+  if (file_bytes >= 0 && file_bytes < kHeaderBytes) {
+    std::fclose(file_);
+    file_ = nullptr;
+    empty_ = true;
+    return;
+  }
+  if (std::fseek(file_, 0, SEEK_SET) != 0) io_fail(path_, "seek failed");
   char magic[8];
   std::uint32_t version = 0;
   std::uint32_t samples32 = 0;
@@ -165,6 +180,7 @@ bool TraceFileReader::next(TraceBatch& batch) {
 }
 
 void TraceFileReader::reset() {
+  if (empty_) return;
   if (file_ == nullptr) io_fail(path_, "reset on closed reader");
   if (std::fseek(file_, kHeaderBytes, SEEK_SET) != 0) {
     io_fail(path_, "seek failed");

@@ -1,0 +1,59 @@
+#include "pgmcml/util/env.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace pgmcml::util {
+
+namespace {
+
+[[noreturn]] void reject(const char* name, const char* text,
+                         const std::string& why, std::uint64_t min_value,
+                         std::uint64_t max_value) {
+  throw std::runtime_error(std::string(name) + ": invalid value '" + text +
+                           "' (" + why + "; expected an integer in [" +
+                           std::to_string(min_value) + ", " +
+                           std::to_string(max_value) + "])");
+}
+
+}  // namespace
+
+std::uint64_t parse_u64(const char* name, const char* text,
+                        std::uint64_t min_value, std::uint64_t max_value) {
+  if (text == nullptr || *text == '\0') {
+    reject(name, text == nullptr ? "" : text, "empty", min_value, max_value);
+  }
+  // strtoull accepts leading whitespace, a sign, and hex/octal prefixes; the
+  // knobs want plain decimal digits only, so pre-validate the shape (this is
+  // also what rejects "-1", which strtoull would silently wrap).
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (!std::isdigit(static_cast<unsigned char>(*p))) {
+      reject(name, text, "not a decimal integer", min_value, max_value);
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno == ERANGE) {
+    reject(name, text, "overflows 64 bits", min_value, max_value);
+  }
+  if (end == text || *end != '\0') {
+    reject(name, text, "trailing garbage", min_value, max_value);
+  }
+  if (v < min_value || v > max_value) {
+    reject(name, text, "out of range", min_value, max_value);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::optional<std::uint64_t> env_u64(const char* name, std::uint64_t min_value,
+                                     std::uint64_t max_value) {
+  const char* text = std::getenv(name);
+  if (text == nullptr) return std::nullopt;
+  return parse_u64(name, text, min_value, max_value);
+}
+
+}  // namespace pgmcml::util

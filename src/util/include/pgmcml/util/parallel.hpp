@@ -24,9 +24,13 @@ namespace pgmcml::util {
 std::size_t parallel_threads();
 
 /// Overrides the worker count for subsequent parallel regions (0 restores
-/// the environment/hardware default).  Recreates the shared pool lazily;
-/// call only between parallel regions (tests, benchmark harnesses).
-void set_parallel_threads(std::size_t n);
+/// the environment/hardware default) and returns the previous override so a
+/// caller can restore it.  Destroys the shared pool immediately (the next
+/// parallel region rebuilds it), which also makes this the fork-safety
+/// valve: a coordinator that calls set_parallel_threads(1) before fork()ing
+/// worker processes guarantees the children inherit no pool threads.  Call
+/// only between parallel regions (tests, benchmarks, process supervisors).
+std::size_t set_parallel_threads(std::size_t n);
 
 /// Chunked parallel loop over [0, n).  `body(i)` must be safe to run
 /// concurrently for distinct indices.  `grain` fixes how many consecutive

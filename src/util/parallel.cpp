@@ -1,6 +1,8 @@
 #include "pgmcml/util/parallel.hpp"
 
 #include <algorithm>
+
+#include "pgmcml/util/env.hpp"
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -66,9 +68,10 @@ class ThreadPool {
 };
 
 std::size_t default_threads() {
-  if (const char* env = std::getenv("PGMCML_THREADS")) {
-    const long v = std::atol(env);
-    if (v >= 1) return static_cast<std::size_t>(v);
+  // Hardened: a malformed or absurd PGMCML_THREADS throws a diagnostic
+  // instead of silently falling back to hardware_concurrency().
+  if (const auto v = env_u64("PGMCML_THREADS", 1, 4096)) {
+    return static_cast<std::size_t>(*v);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
@@ -95,11 +98,13 @@ std::size_t parallel_threads() {
   return s.override_threads != 0 ? s.override_threads : default_threads();
 }
 
-void set_parallel_threads(std::size_t n) {
+std::size_t set_parallel_threads(std::size_t n) {
   auto& s = state();
   std::lock_guard lock(s.m);
+  const std::size_t prev = s.override_threads;
   s.override_threads = n;
   s.pool.reset();  // re-sized lazily by the next parallel region
+  return prev;
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,

@@ -1,0 +1,339 @@
+// Crash-tolerant campaign orchestration: forked workers are killed at the
+// nastiest instants -- mid-checkpoint between fsync and rename, right after
+// a durable publish, hung inside a simulation -- and the recovered campaign
+// must be BITWISE equal to the serial reference.  Exhausting a shard's
+// retry budget must degrade gracefully: durable prefix merged, unprocessed
+// tail reported as skipped ranges, campaign still returns.
+#include <signal.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "pgmcml/campaign/campaign.hpp"
+#include "pgmcml/campaign/checkpoint.hpp"
+#include "pgmcml/sca/snapshot.hpp"
+
+namespace pgmcml::campaign {
+namespace {
+
+std::string fresh_spool(const char* name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("pgmcml-campaign-" + std::string(name) + "-" +
+        std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Small-but-real campaign geometry: 4 shards of 24 traces, checkpoints
+/// every 8, more shards than workers so the queue logic is exercised.
+CampaignOptions small_options(const std::string& spool) {
+  CampaignOptions o;
+  o.style = cells::LogicStyle::kCmos;
+  o.num_traces = 96;
+  o.samples = 48;
+  o.shard_size = 24;
+  o.num_workers = 3;
+  o.checkpoint_every = 8;
+  o.batch_size = 8;
+  o.spool_dir = spool;
+  o.max_restarts = 3;
+  o.heartbeat_timeout_s = 30.0;
+  o.poll_interval_s = 0.002;
+  o.backoff_base_s = 0.005;
+  o.backoff_cap_s = 0.05;
+  return o;
+}
+
+void expect_bitwise_equal(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(std::memcmp(a.cpa.peak_correlation.data(),
+                        b.cpa.peak_correlation.data(),
+                        sizeof(a.cpa.peak_correlation)),
+            0);
+  EXPECT_EQ(std::memcmp(a.dpa.peak_difference.data(),
+                        b.dpa.peak_difference.data(),
+                        sizeof(a.dpa.peak_difference)),
+            0);
+  EXPECT_EQ(std::memcmp(&a.tvla.max_abs_t, &b.tvla.max_abs_t, sizeof(double)),
+            0);
+  EXPECT_EQ(a.key_rank, b.key_rank);
+  EXPECT_EQ(a.mtd, b.mtd);
+  EXPECT_EQ(a.traces_accumulated, b.traces_accumulated);
+}
+
+TEST(CampaignCheckpoint, RoundTripsBitwise) {
+  const std::string spool = fresh_spool("roundtrip");
+  std::filesystem::create_directories(spool);
+  const std::string path = spool + "/shard-0.ckpt";
+
+  WorkerCheckpoint state(sca::LeakageModel::kHammingWeight, 16);
+  state.shard = 3;
+  state.phase = kPhaseFixed;
+  state.range_lo = 72;
+  state.range_hi = 96;
+  state.next_index = 80;
+  state.checkpoints_written = 5;
+  const std::vector<double> trace(16, 0.25);
+  state.cpa.add(0x11, trace);
+  state.dpa.add(0x11, trace);
+  state.tvla.add(true, trace);
+  state.diagnostics.record_attempt();
+  state.diagnostics.record_retry("trace:73", "synthetic");
+  state.diagnostics.record_recovery("trace:73");
+
+  ASSERT_TRUE(save_checkpoint(path, state, /*config_digest=*/0xfeed));
+  auto loaded =
+      load_checkpoint(path, sca::LeakageModel::kHammingWeight, 16, 0xfeed);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->shard, 3u);
+  EXPECT_EQ(loaded->phase, kPhaseFixed);
+  EXPECT_EQ(loaded->range_lo, 72u);
+  EXPECT_EQ(loaded->range_hi, 96u);
+  EXPECT_EQ(loaded->next_index, 80u);
+  EXPECT_EQ(loaded->checkpoints_written, 5u);
+  EXPECT_EQ(loaded->diagnostics.retries, 1u);
+  EXPECT_EQ(loaded->diagnostics.recovered, 1u);
+  sca::SnapshotWriter a, b;
+  state.cpa.save(a);
+  state.tvla.save(a);
+  loaded->cpa.save(b);
+  loaded->tvla.save(b);
+  EXPECT_EQ(a.buffer(), b.buffer());
+  std::filesystem::remove_all(spool);
+}
+
+TEST(CampaignCheckpoint, EveryCrashArtifactIsACleanMiss) {
+  const std::string spool = fresh_spool("artifacts");
+  std::filesystem::create_directories(spool);
+  const auto model = sca::LeakageModel::kHammingWeight;
+  const std::string path = spool + "/shard-0.ckpt";
+
+  // Missing file.
+  EXPECT_FALSE(load_checkpoint(path, model, 16, 1).has_value());
+
+  WorkerCheckpoint state(model, 16);
+  state.range_hi = 10;
+  ASSERT_TRUE(save_checkpoint(path, state, 1));
+  ASSERT_TRUE(load_checkpoint(path, model, 16, 1).has_value());
+
+  // Wrong config digest: a spool from different options reads as empty.
+  EXPECT_FALSE(load_checkpoint(path, model, 16, 2).has_value());
+  // Mismatched geometry.
+  EXPECT_FALSE(load_checkpoint(path, model, 17, 1).has_value());
+
+  // Zero-length file (crash before any byte hit the disk).
+  const std::string empty = spool + "/empty.ckpt";
+  std::fclose(std::fopen(empty.c_str(), "wb"));
+  EXPECT_FALSE(load_checkpoint(empty, model, 16, 1).has_value());
+
+  // Truncation and a flipped payload byte: the checksum catches both.
+  std::string bytes;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+      bytes.append(buf, got);
+    std::fclose(f);
+  }
+  const std::string corrupt = spool + "/corrupt.ckpt";
+  for (const std::size_t cut : {bytes.size() / 2, bytes.size() - 1}) {
+    std::FILE* f = std::fopen(corrupt.c_str(), "wb");
+    std::fwrite(bytes.data(), 1, cut, f);
+    std::fclose(f);
+    EXPECT_FALSE(load_checkpoint(corrupt, model, 16, 1).has_value());
+  }
+  {
+    std::string flipped = bytes;
+    flipped[flipped.size() / 3] ^= 0x40;
+    std::FILE* f = std::fopen(corrupt.c_str(), "wb");
+    std::fwrite(flipped.data(), 1, flipped.size(), f);
+    std::fclose(f);
+    EXPECT_FALSE(load_checkpoint(corrupt, model, 16, 1).has_value());
+  }
+  std::filesystem::remove_all(spool);
+}
+
+TEST(Campaign, DistributedEqualsSerialBitwise) {
+  const std::string spool = fresh_spool("baseline");
+  CampaignOptions o = small_options(spool);
+  const CampaignResult distributed = run_campaign(o);
+  const CampaignResult serial = run_campaign_serial(o);
+  EXPECT_EQ(distributed.shards_skipped, 0u);
+  EXPECT_EQ(distributed.restarts, 0u);
+  EXPECT_EQ(distributed.traces_accumulated, o.num_traces);
+  expect_bitwise_equal(distributed, serial);
+  std::filesystem::remove_all(spool);
+}
+
+TEST(Campaign, SigkillBetweenFsyncAndRenameRecoversBitwise) {
+  const std::string spool = fresh_spool("midpublish");
+  CampaignOptions o = small_options(spool);
+  // Shard 1's first incarnation dies with its second checkpoint fsynced but
+  // not yet renamed: recovery must resume from checkpoint #1, and the tmp
+  // file must never be taken for a checkpoint.
+  o.pre_publish_hook = [](std::uint64_t shard, int restart,
+                          std::uint64_t ordinal) {
+    if (shard == 1 && restart == 0 && ordinal == 2) ::raise(SIGKILL);
+  };
+  const CampaignResult distributed = run_campaign(o);
+  EXPECT_GE(distributed.restarts, 1u);
+  EXPECT_EQ(distributed.shards_skipped, 0u);
+  expect_bitwise_equal(distributed, run_campaign_serial(o));
+  std::filesystem::remove_all(spool);
+}
+
+TEST(Campaign, CrashAfterDurableCheckpointResumesBitwise) {
+  const std::string spool = fresh_spool("postpublish");
+  CampaignOptions o = small_options(spool);
+  // Two different shards die right after publishing a durable checkpoint
+  // (one of them in the TVLA fixed phase); both must resume from it.
+  o.post_checkpoint_hook = [](std::uint64_t shard, int restart,
+                              std::uint64_t ordinal) {
+    if (shard == 0 && restart == 0 && ordinal == 1) ::raise(SIGKILL);
+    if (shard == 2 && restart == 0 && ordinal == 4) ::raise(SIGKILL);
+  };
+  const CampaignResult distributed = run_campaign(o);
+  EXPECT_GE(distributed.restarts, 2u);
+  EXPECT_EQ(distributed.shards_skipped, 0u);
+  expect_bitwise_equal(distributed, run_campaign_serial(o));
+  std::filesystem::remove_all(spool);
+}
+
+TEST(Campaign, HungWorkerIsKilledByHeartbeatAndRestarted) {
+  const std::string spool = fresh_spool("hang");
+  CampaignOptions o = small_options(spool);
+  o.heartbeat_timeout_s = 1.0;  // >> a healthy batch, even under sanitizers
+  // Shard 2's first incarnation wedges inside a simulation and never beats
+  // again; the coordinator must SIGKILL it and the restart must finish.
+  o.worker_fault_hook = [](std::uint64_t shard, int restart,
+                           std::uint64_t trace, int attempt) {
+    if (shard == 2 && restart == 0 && trace == 60 && attempt == 0) {
+      for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+    }
+  };
+  const CampaignResult distributed = run_campaign(o);
+  EXPECT_GE(distributed.heartbeat_timeouts, 1u);
+  EXPECT_GE(distributed.restarts, 1u);
+  EXPECT_EQ(distributed.shards_skipped, 0u);
+  expect_bitwise_equal(distributed, run_campaign_serial(o));
+  std::filesystem::remove_all(spool);
+}
+
+TEST(Campaign, RetryBudgetExhaustionDegradesGracefully) {
+  const std::string spool = fresh_spool("degrade");
+  CampaignOptions o = small_options(spool);
+  o.max_restarts = 1;
+  // Shard 3 dies right after EVERY durable publish: each incarnation makes
+  // one checkpoint of progress, the budget (1 restart = 2 incarnations)
+  // runs out, the shard is skipped -- but its durable 16-trace prefix must
+  // still be merged and the lost tail reported, per phase.
+  o.post_checkpoint_hook = [](std::uint64_t shard, int /*restart*/,
+                              std::uint64_t ordinal) {
+    if (shard == 3 && ordinal >= 1) ::_Exit(7);
+  };
+  const CampaignResult r = run_campaign(o);
+  EXPECT_EQ(r.shards_skipped, 1u);
+  EXPECT_TRUE(r.degraded());
+  EXPECT_FALSE(r.shards[3].completed);
+  // Durable prefix (two incarnations x one checkpoint of 8 traces) merged.
+  EXPECT_EQ(r.traces_accumulated, 96u - 24u + 16u);
+  ASSERT_EQ(r.skipped_ranges.size(), 2u);
+  EXPECT_EQ(r.skipped_ranges[0].lo, 88u);  // 72 + 16 durable
+  EXPECT_EQ(r.skipped_ranges[0].hi, 96u);
+  EXPECT_EQ(r.skipped_ranges[0].phase, kPhaseRandom);
+  EXPECT_EQ(r.skipped_ranges[1].lo, 72u);  // fixed phase never started
+  EXPECT_EQ(r.skipped_ranges[1].hi, 96u);
+  EXPECT_EQ(r.skipped_ranges[1].phase, kPhaseFixed);
+  // The three healthy shards still produced a full analysis.
+  EXPECT_GE(r.tvla.random_traces, 72u);
+  std::filesystem::remove_all(spool);
+}
+
+TEST(Campaign, ResumesAcrossSeparateCoordinatorRuns) {
+  const std::string spool = fresh_spool("rerun");
+  CampaignOptions o = small_options(spool);
+  o.max_restarts = 0;  // first run: one crash permanently skips the shard
+  o.post_checkpoint_hook = [](std::uint64_t shard, int /*restart*/,
+                              std::uint64_t ordinal) {
+    if (shard == 1 && ordinal == 2) ::_Exit(7);
+  };
+  const CampaignResult first = run_campaign(o);
+  EXPECT_EQ(first.shards_skipped, 1u);
+
+  // Second coordinator run over the SAME spool with the hook removed: the
+  // finished shards are recognized as done instantly and the crashed one
+  // resumes from its durable checkpoint.  Result: bitwise-clean campaign.
+  o.post_checkpoint_hook = nullptr;
+  o.max_restarts = 3;
+  const CampaignResult second = run_campaign(o);
+  EXPECT_EQ(second.shards_skipped, 0u);
+  EXPECT_EQ(second.traces_accumulated, o.num_traces);
+  expect_bitwise_equal(second, run_campaign_serial(o));
+  std::filesystem::remove_all(spool);
+}
+
+TEST(Campaign, AcquisitionFaultsStayLocalAndDeterministic) {
+  const std::string spool = fresh_spool("acqfault");
+  CampaignOptions o = small_options(spool);
+  o.tvla = false;
+  // A trace that fails both attempts is skipped by the acquisition retry
+  // ladder inside the worker -- no crash, no restart, and the skip shows up
+  // in the merged diagnostics.
+  o.worker_fault_hook = [](std::uint64_t /*shard*/, int /*restart*/,
+                           std::uint64_t trace, int /*attempt*/) {
+    if (trace == 30) throw std::runtime_error("synthetic acquisition fault");
+  };
+  const CampaignResult r = run_campaign(o);
+  EXPECT_EQ(r.restarts, 0u);
+  EXPECT_EQ(r.shards_skipped, 0u);
+  EXPECT_EQ(r.traces_accumulated, o.num_traces - 1);
+  EXPECT_EQ(r.diagnostics.skipped, 1u);
+  EXPECT_EQ(r.diagnostics.retries, 1u);
+  std::filesystem::remove_all(spool);
+}
+
+TEST(Campaign, ConfigDigestSeparatesCampaigns) {
+  CampaignOptions a;
+  CampaignOptions b = a;
+  EXPECT_EQ(campaign_config_digest(a), campaign_config_digest(b));
+  b.seed = a.seed + 1;
+  EXPECT_NE(campaign_config_digest(a), campaign_config_digest(b));
+  b = a;
+  b.num_traces *= 2;
+  EXPECT_NE(campaign_config_digest(a), campaign_config_digest(b));
+  b = a;
+  b.style = cells::LogicStyle::kPgMcml;
+  EXPECT_NE(campaign_config_digest(a), campaign_config_digest(b));
+  // Supervision knobs do not reshape the stream: same digest, so a resume
+  // under a different worker count or cadence stays valid.
+  b = a;
+  b.num_workers += 3;
+  b.checkpoint_every = 1;
+  b.max_restarts = 0;
+  EXPECT_EQ(campaign_config_digest(a), campaign_config_digest(b));
+}
+
+TEST(Campaign, RejectsMalformedOptions) {
+  CampaignOptions o;
+  o.num_traces = 0;
+  EXPECT_THROW(run_campaign_serial(o), std::invalid_argument);
+  o = CampaignOptions{};
+  o.num_workers = 0;
+  EXPECT_THROW(run_campaign(o), std::invalid_argument);
+  o = CampaignOptions{};
+  o.spool_dir.clear();
+  EXPECT_THROW(run_campaign(o), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pgmcml::campaign

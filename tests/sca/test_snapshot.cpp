@@ -1,0 +1,185 @@
+// Accumulator snapshot serialization: the campaign checkpoint contract.
+// load(save(x)) must restore the IDENTICAL arithmetic state -- continuing a
+// loaded accumulator produces results bitwise equal to never having paused
+// -- and the reader must reject truncated or mismatched streams loudly.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "pgmcml/aes/aes.hpp"
+#include "pgmcml/sca/accumulator.hpp"
+#include "pgmcml/sca/snapshot.hpp"
+#include "pgmcml/util/rng.hpp"
+#include "pgmcml/util/stats.hpp"
+
+namespace pgmcml::sca {
+namespace {
+
+TraceSet synthetic_traces(std::uint8_t key, std::size_t n,
+                          std::size_t samples = 24, std::uint64_t seed = 11) {
+  util::Rng rng(seed);
+  TraceSet ts(samples);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto p = static_cast<std::uint8_t>(rng.bounded(256));
+    std::vector<double> tr(samples);
+    for (auto& v : tr) v = rng.gaussian(0.0, 0.3);
+    tr[7] += 0.5 * util::hamming_weight(aes::reduced_target(p, key));
+    ts.add(p, tr);
+  }
+  return ts;
+}
+
+/// Serialized form of an accumulator -- byte equality of two saves is the
+/// strongest "identical state" check available without friend access.
+template <typename Acc>
+std::string serialized(const Acc& acc) {
+  SnapshotWriter w;
+  acc.save(w);
+  return w.take();
+}
+
+TEST(Snapshot, ScalarsAndSpansRoundTrip) {
+  SnapshotWriter w;
+  w.tag("TST1");
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.f64(-0.0);
+  const std::vector<double> v{1.5, -2.25, 1e-300};
+  w.f64_span(v);
+  w.bytes("payload");
+
+  SnapshotReader r(w.buffer());
+  r.expect_tag("TST1");
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  const double neg_zero = r.f64();
+  EXPECT_EQ(std::memcmp(&neg_zero, "\0\0\0\0\0\0\0\x80", 8), 0);
+  EXPECT_EQ(r.f64_vector(), v);
+  EXPECT_EQ(r.bytes(), "payload");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Snapshot, ReaderRejectsTruncationAndBadTags) {
+  SnapshotWriter w;
+  w.tag("TST1");
+  w.u64(99);
+  const std::string full = w.buffer();
+
+  SnapshotReader bad_tag(full);
+  EXPECT_THROW(bad_tag.expect_tag("NOPE"), std::runtime_error);
+
+  SnapshotReader truncated(std::string_view(full.data(), full.size() - 3));
+  truncated.expect_tag("TST1");
+  EXPECT_THROW(truncated.u64(), std::runtime_error);
+
+  // A corrupt vector length must not trigger a huge allocation.
+  SnapshotWriter wl;
+  wl.u64(UINT64_MAX);
+  SnapshotReader huge(wl.buffer());
+  EXPECT_THROW(huge.f64_vector(), std::runtime_error);
+}
+
+TEST(Snapshot, CpaResumesBitwise) {
+  const std::uint8_t key = 0x2b;
+  const TraceSet ts = synthetic_traces(key, 120);
+  CpaAccumulator live(LeakageModel::kHammingWeight, ts.samples_per_trace());
+  for (std::size_t i = 0; i < 60; ++i) live.add(ts.plaintext(i), ts.trace(i));
+
+  SnapshotWriter w;
+  live.save(w);
+  SnapshotReader r(w.buffer());
+  CpaAccumulator resumed = CpaAccumulator::load(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(serialized(resumed), serialized(live));
+
+  // The loaded accumulator continues the identical arithmetic sequence.
+  for (std::size_t i = 60; i < ts.num_traces(); ++i) {
+    live.add(ts.plaintext(i), ts.trace(i));
+    resumed.add(ts.plaintext(i), ts.trace(i));
+  }
+  const CpaResult a = live.snapshot();
+  const CpaResult b = resumed.snapshot();
+  EXPECT_EQ(std::memcmp(a.peak_correlation.data(), b.peak_correlation.data(),
+                        sizeof(a.peak_correlation)),
+            0);
+  EXPECT_EQ(a.best_guess, b.best_guess);
+}
+
+TEST(Snapshot, DpaAndTvlaResumeBitwise) {
+  const TraceSet ts = synthetic_traces(0x2b, 100);
+  DpaAccumulator dpa(ts.samples_per_trace());
+  TvlaAccumulator tvla(ts.samples_per_trace());
+  for (std::size_t i = 0; i < 50; ++i) {
+    dpa.add(ts.plaintext(i), ts.trace(i));
+    tvla.add(i % 2 == 0, ts.trace(i));
+  }
+  SnapshotWriter w;
+  dpa.save(w);
+  tvla.save(w);
+  SnapshotReader r(w.buffer());
+  DpaAccumulator dpa2 = DpaAccumulator::load(r);
+  TvlaAccumulator tvla2 = TvlaAccumulator::load(r);
+  EXPECT_TRUE(r.exhausted());
+  for (std::size_t i = 50; i < ts.num_traces(); ++i) {
+    dpa.add(ts.plaintext(i), ts.trace(i));
+    dpa2.add(ts.plaintext(i), ts.trace(i));
+    tvla.add(i % 2 == 0, ts.trace(i));
+    tvla2.add(i % 2 == 0, ts.trace(i));
+  }
+  EXPECT_EQ(serialized(dpa2), serialized(dpa));
+  EXPECT_EQ(serialized(tvla2), serialized(tvla));
+  const double ta = tvla.snapshot().max_abs_t;
+  const double tb = tvla2.snapshot().max_abs_t;
+  EXPECT_EQ(std::memcmp(&ta, &tb, sizeof(ta)), 0);
+}
+
+TEST(Snapshot, MtdTrackerResumesToSameDisclosure) {
+  const std::uint8_t key = 0x2b;
+  const TraceSet ts = synthetic_traces(key, 160);
+
+  MtdTracker straight(LeakageModel::kHammingWeight, ts.samples_per_trace(),
+                      key, ts.num_traces());
+  for (std::size_t i = 0; i < ts.num_traces(); ++i) {
+    straight.add(ts.plaintext(i), ts.trace(i));
+  }
+
+  MtdTracker first(LeakageModel::kHammingWeight, ts.samples_per_trace(), key,
+                   ts.num_traces());
+  for (std::size_t i = 0; i < 70; ++i) first.add(ts.plaintext(i), ts.trace(i));
+  SnapshotWriter w;
+  first.save(w);
+  SnapshotReader r(w.buffer());
+  MtdTracker resumed = MtdTracker::load(r);
+  EXPECT_TRUE(r.exhausted());
+  for (std::size_t i = 70; i < ts.num_traces(); ++i) {
+    resumed.add(ts.plaintext(i), ts.trace(i));
+  }
+  EXPECT_EQ(resumed.finish(), straight.finish());
+  EXPECT_EQ(serialized(resumed.accumulator()),
+            serialized(straight.accumulator()));
+}
+
+TEST(Snapshot, LoadRejectsCorruptAccumulatorStreams) {
+  CpaAccumulator acc(LeakageModel::kHammingWeight, 8);
+  SnapshotWriter w;
+  acc.save(w);
+  std::string bytes = w.take();
+
+  // Truncated mid-state.
+  SnapshotReader short_r(std::string_view(bytes.data(), bytes.size() / 2));
+  EXPECT_THROW(CpaAccumulator::load(short_r), std::runtime_error);
+
+  // Wrong leading tag (a DPA stream is not a CPA stream).
+  DpaAccumulator dpa(8);
+  SnapshotWriter wd;
+  dpa.save(wd);
+  SnapshotReader wrong(wd.buffer());
+  EXPECT_THROW(CpaAccumulator::load(wrong), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pgmcml::sca

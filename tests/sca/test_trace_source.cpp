@@ -160,12 +160,13 @@ TEST(TraceFile, RejectsCorruptInputs) {
   EXPECT_THROW(TraceFileReader(temp_path("does-not-exist.pgtr")),
                std::runtime_error);
 
-  // Bad magic.
+  // Bad magic (file is at least one full header long, so it is NOT the
+  // crash-before-first-flush case below -- it must still be rejected).
   const std::string bad_magic = temp_path("bad-magic.pgtr");
   {
     std::FILE* f = std::fopen(bad_magic.c_str(), "wb");
     ASSERT_NE(f, nullptr);
-    std::fputs("NOTATRACEFILE---header-", f);
+    std::fputs("NOTATRACEFILE---header-goes-here", f);
     std::fclose(f);
   }
   EXPECT_THROW(TraceFileReader{bad_magic}, std::runtime_error);
@@ -198,6 +199,29 @@ TEST(TraceFile, RejectsCorruptInputs) {
                std::invalid_argument);
   writer.close();
   std::remove(ragged.c_str());
+}
+
+TEST(TraceFile, CrashBeforeFirstFlushReadsAsCleanEmpty) {
+  // A writer that dies before its stdio buffer reaches the disk leaves a
+  // zero-length file; one that dies mid-header-flush leaves a short prefix.
+  // Neither can hold a record, so both read as "no data", not corruption.
+  for (const long bytes : {0L, 7L, 23L}) {
+    const std::string path = temp_path("crashed-writer.pgtr");
+    {
+      std::FILE* f = std::fopen(path.c_str(), "wb");
+      ASSERT_NE(f, nullptr);
+      for (long i = 0; i < bytes; ++i) std::fputc('P', f);
+      std::fclose(f);
+    }
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.samples_per_trace(), 0u);
+    EXPECT_EQ(reader.size_hint(), 0u);
+    TraceBatch batch;
+    EXPECT_FALSE(reader.next(batch));
+    reader.reset();  // no-op on an empty reader, not an error
+    EXPECT_FALSE(reader.next(batch));
+    std::remove(path.c_str());
+  }
 }
 
 }  // namespace

@@ -1,0 +1,82 @@
+// Hardened env-var parsing: a set-but-malformed runtime knob must fail
+// loudly with a diagnostic naming the variable, never silently fall back.
+#include "pgmcml/util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace pgmcml::util {
+namespace {
+
+constexpr char kVar[] = "PGMCML_TEST_ENV_U64";
+
+class EnvU64 : public ::testing::Test {
+ protected:
+  void SetUp() override { ::unsetenv(kVar); }
+  void TearDown() override { ::unsetenv(kVar); }
+  void set(const char* value) { ::setenv(kVar, value, 1); }
+};
+
+TEST_F(EnvU64, UnsetFallsThroughToCallerDefault) {
+  EXPECT_EQ(env_u64(kVar), std::nullopt);
+  EXPECT_EQ(env_u64(kVar, 1, 10).value_or(7), 7u);
+}
+
+TEST_F(EnvU64, ParsesValidDecimal) {
+  set("42");
+  EXPECT_EQ(env_u64(kVar), 42u);
+  set("0");
+  EXPECT_EQ(env_u64(kVar), 0u);
+  set("18446744073709551615");  // UINT64_MAX
+  EXPECT_EQ(env_u64(kVar), UINT64_MAX);
+}
+
+TEST_F(EnvU64, RejectsMalformedLoudly) {
+  for (const char* bad : {"", " ", "abc", "12abc", "12 ", " 12", "-1", "+3",
+                          "0x10", "3.5", "1e3"}) {
+    set(bad);
+    EXPECT_THROW(env_u64(kVar), std::runtime_error) << "input: '" << bad
+                                                    << "'";
+  }
+}
+
+TEST_F(EnvU64, RejectsOverflow) {
+  set("18446744073709551616");  // UINT64_MAX + 1
+  EXPECT_THROW(env_u64(kVar), std::runtime_error);
+  set("99999999999999999999999999");
+  EXPECT_THROW(env_u64(kVar), std::runtime_error);
+}
+
+TEST_F(EnvU64, EnforcesRange) {
+  set("0");
+  EXPECT_THROW(env_u64(kVar, 1, 4096), std::runtime_error);
+  set("4097");
+  EXPECT_THROW(env_u64(kVar, 1, 4096), std::runtime_error);
+  set("4096");
+  EXPECT_EQ(env_u64(kVar, 1, 4096), 4096u);
+}
+
+TEST_F(EnvU64, DiagnosticNamesVariableAndValue) {
+  set("not-a-number");
+  try {
+    env_u64(kVar);
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(kVar), std::string::npos) << what;
+    EXPECT_NE(what.find("not-a-number"), std::string::npos) << what;
+  }
+}
+
+TEST(ParseU64, SameRulesForCliText) {
+  EXPECT_EQ(parse_u64("--traces", "1000"), 1000u);
+  EXPECT_THROW(parse_u64("--traces", ""), std::runtime_error);
+  EXPECT_THROW(parse_u64("--traces", "10k"), std::runtime_error);
+  EXPECT_THROW(parse_u64("--traces", "5", 10, 20), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pgmcml::util
