@@ -23,7 +23,7 @@ namespace pgmcml::cache {
 
 /// Bump whenever the serialized payload layout of any cached result changes;
 /// every key mixes this in, so stale on-disk entries become clean misses.
-inline constexpr std::uint32_t kCacheSchemaVersion = 2;
+inline constexpr std::uint32_t kCacheSchemaVersion = 3;
 
 /// Bump whenever the device models, cell topologies, bias solver or
 /// characterization extraction change in a result-affecting way.  The

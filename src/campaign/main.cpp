@@ -19,6 +19,7 @@
 #include <string>
 
 #include "pgmcml/campaign/campaign.hpp"
+#include "pgmcml/config/experiment.hpp"
 #include "pgmcml/obs/json.hpp"
 #include "pgmcml/util/env.hpp"
 
@@ -30,6 +31,8 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
+      "  --config FILE         experiment document with a campaign plan;\n"
+      "                        loaded first, later flags override it\n"
       "  --traces N            campaign size (default 4096)\n"
       "  --samples N           samples per trace (default 600)\n"
       "  --style S             cmos | mcml | pgmcml (default cmos)\n"
@@ -99,6 +102,29 @@ int main(int argc, char** argv) {
         util::env_u64("PGMCML_CAMPAIGN_MAX_RESTARTS", 0, 1024).value_or(3));
     opt.spool_dir = "campaign-spool";
 
+    // --config seeds the options from an experiment document before the
+    // remaining flags are applied, so flags override the file.
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--config") == 0) {
+        if (i + 1 >= argc) {
+          throw std::runtime_error("missing value for --config");
+        }
+        const config::Experiment e =
+            config::load_experiment_file(argv[i + 1]);
+        if (e.plan.task != config::PlanTask::kCampaign) {
+          throw std::runtime_error(
+              std::string(argv[i + 1]) +
+              ": experiment plan task is '" + config::to_string(e.plan.task) +
+              "', pgmcml_campaign needs 'campaign'");
+        }
+        opt = e.resolved_campaign();
+        std::fprintf(stderr,
+                     "pgmcml_campaign: experiment '%s' digest %s\n",
+                     e.name.c_str(),
+                     config::experiment_digest(e).hex().c_str());
+      }
+    }
+
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       const auto next = [&]() -> const char* {
@@ -107,7 +133,9 @@ int main(int argc, char** argv) {
         }
         return argv[++i];
       };
-      if (arg == "--traces") {
+      if (arg == "--config") {
+        ++i;  // already applied in the pre-scan above
+      } else if (arg == "--traces") {
         opt.num_traces = static_cast<std::size_t>(util::parse_u64(
             "--traces", next(), 1, std::uint64_t{1} << 40));
       } else if (arg == "--samples") {

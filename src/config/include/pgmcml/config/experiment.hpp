@@ -1,0 +1,78 @@
+// Experiment documents: the composition root of the config layer.  One
+// experiment names a technology, a cell variant, and a plan -- each either
+// inline or as a path to another document, resolved relative to the
+// experiment file -- and runs end-to-end through run_experiment().
+//
+// Document shape (kind "experiment"):
+//
+//   {
+//     "pgmcml_schema": 1,
+//     "kind": "experiment",
+//     "name": "table2-default",
+//     "technology": "technology-cmos90.json",   // path or inline document
+//     "design": { "pgmcml_schema": 1, "kind": "cell_variant", ... },
+//     "plan": "plan-table2.json",
+//     "library": "calibrated"                   // or "characterized"
+//   }
+//
+// "library" selects the cell library the dpa_flow / campaign plans attack:
+// "calibrated" (default) uses the fast built-in constants per style;
+// "characterized" runs every cell through the transistor-level engine at
+// the experiment's technology and design point first (slower, but the path
+// where the configured technology actually shapes the traces).
+// Characterization-family plans (characterize / bias_sweep / monte_carlo)
+// always use the transistor-level engine and ignore "library".
+#pragma once
+
+#include <string>
+
+#include "pgmcml/cache/key.hpp"
+#include "pgmcml/config/design.hpp"
+#include "pgmcml/config/plan.hpp"
+#include "pgmcml/config/technology.hpp"
+
+namespace pgmcml::config {
+
+struct Experiment {
+  std::string name;
+  spice::TechnologyParams technology;
+  CellVariant variant;
+  Plan plan;
+  bool characterized_library = false;
+
+  /// The variant's design with the experiment's technology stamped in --
+  /// what every transistor-level run uses.
+  mcml::McmlDesign resolved_design() const;
+  /// The plan's campaign options with the variant's style stamped in.
+  campaign::CampaignOptions resolved_campaign() const;
+};
+
+/// Parses one experiment document.  String-valued "technology" / "design" /
+/// "plan" members are loaded from `base_dir`-relative paths.
+Experiment experiment_from_json(const obs::json::Value& doc,
+                                const std::string& doc_label,
+                                const std::string& base_dir);
+
+/// Loads and parses the experiment at `path` (referenced documents resolve
+/// relative to its directory).
+Experiment load_experiment_file(const std::string& path);
+
+/// Canonical content digest of everything the experiment pins down: the
+/// full technology parameter set, the resolved design point, the style,
+/// the library mode, and every plan field.  Two experiments collide iff
+/// they describe the same run, so the hex digest is the content address a
+/// result can be filed under.
+cache::CacheKey experiment_digest(const Experiment& e);
+
+/// Runs the experiment and returns a structured report: the experiment
+/// name, digest, technology/style identification, and the task-specific
+/// results.  Throws ConfigError for plan/style combinations that cannot
+/// run (e.g. transistor-level characterization of the CMOS reference).
+obs::json::Value run_experiment(const Experiment& e);
+
+/// Loads `path` and validates it as whatever document kind it declares
+/// (experiments validate their referenced documents too).  Throws
+/// ConfigError on any failure; this is the CI schema check.
+void validate_document_file(const std::string& path);
+
+}  // namespace pgmcml::config

@@ -75,8 +75,36 @@ spice::TranResult run_with_retry(McmlTestbench& bench, const std::string& stage,
 
 }  // namespace
 
+void add_technology_to_key(cache::KeyBuilder& kb,
+                           const spice::Technology& tech) {
+  const spice::TechnologyParams& p = tech.params();
+  kb.add("tech.name", p.name);
+  kb.add("tech.corner", p.corner_label);
+  kb.add("tech.vdd", p.vdd);
+  kb.add("tech.lmin", p.lmin);
+  kb.add("tech.avt", p.avt);
+  kb.add("tech.akp", p.akp);
+  const auto add_model = [&kb](const char* which,
+                               const spice::DeviceModel& m) {
+    const std::string prefix = std::string("tech.") + which + ".";
+    kb.add(prefix + "vth0", m.vth0);
+    kb.add(prefix + "kp", m.kp);
+    kb.add(prefix + "lambda", m.lambda);
+    kb.add(prefix + "n_sub", m.n_sub);
+    kb.add(prefix + "gamma", m.gamma);
+    kb.add(prefix + "phi", m.phi);
+    kb.add(prefix + "cox_area", m.cox_area);
+    kb.add(prefix + "cov_width", m.cov_width);
+    kb.add(prefix + "cj_width", m.cj_width);
+  };
+  add_model("nmos_lvt", p.nmos_lvt);
+  add_model("nmos_hvt", p.nmos_hvt);
+  add_model("pmos_lvt", p.pmos_lvt);
+  add_model("pmos_hvt", p.pmos_hvt);
+}
+
 void add_design_to_key(cache::KeyBuilder& kb, const McmlDesign& design) {
-  kb.add("corner", spice::to_string(design.tech.corner()));
+  add_technology_to_key(kb, design.tech);
   kb.add("iss", design.iss);
   kb.add("vsw", design.vsw);
   kb.add("vn", design.vn);

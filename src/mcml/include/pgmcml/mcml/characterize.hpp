@@ -49,11 +49,21 @@ CellCharacterization characterize_cell(CellKind kind, const McmlDesign& design,
                                        int fanout = 1);
 
 /// Appends every result-determining field of `design` -- electrical targets,
-/// sizing, gating topology, Vt flavours, technology corner -- to a cache
-/// key.  The canonical field order is part of the key contract; the
-/// mismatch_rng pointer is deliberately excluded (callers that use it must
-/// key the draw themselves or bypass the cache).
+/// sizing, gating topology, Vt flavours, and the full technology parameter
+/// set -- to a cache key.  The canonical field order is part of the key
+/// contract; the mismatch_rng pointer is deliberately excluded (callers that
+/// use it must key the draw themselves or bypass the cache).
 void add_design_to_key(cache::KeyBuilder& kb, const McmlDesign& design);
+
+/// Appends the complete technology description (name, corner label, rails,
+/// Pelgrom coefficients, and all four device models field by field) to a
+/// cache key.  This is the canonical technology digest: two technologies
+/// produce the same contribution iff every parameter is bitwise equal, so
+/// config-driven runs stay content-addressed -- the checked-in default
+/// config keys identically to the compiled-in corner, and a FinFET-like
+/// corner set keys differently.
+void add_technology_to_key(cache::KeyBuilder& kb,
+                           const spice::Technology& tech);
 
 /// Exact JSON form of a characterization (cache payload).
 obs::json::Value to_json(const CellCharacterization& ch);

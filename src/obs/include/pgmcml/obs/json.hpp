@@ -6,7 +6,10 @@
 /// as integers up to 2^53; non-integral doubles are emitted with 17
 /// significant digits, so every finite double round-trips bitwise), and
 /// parse() rejects malformed input with a positioned error instead of
-/// guessing.  No external dependencies -- this is the repo's one JSON
+/// guessing.  Parsing is hardened for untrusted input (config files are
+/// external data): nesting beyond 128 levels and duplicate object keys are
+/// ParseErrors, never stack overflows or silent first-binding-wins lookups.
+/// No external dependencies -- this is the repo's one JSON
 /// implementation, shared by Snapshot::to_json, the manifest writer,
 /// bench_compare and pgmcml::cache.
 #pragma once

@@ -90,6 +90,12 @@ class Parser {
     while (true) {
       if (peek() != '"') fail("expected object key");
       std::string key = parse_string();
+      // Configs are untrusted external input: a document that binds one key
+      // twice is ambiguous (find() would silently return the first binding,
+      // hiding the second), so it is rejected, not resolved.
+      for (const auto& [existing, unused] : obj) {
+        if (existing == key) fail("duplicate object key '" + key + "'");
+      }
       expect(':');
       obj.emplace_back(std::move(key), parse_value(depth + 1));
       const char c = peek();

@@ -1,11 +1,19 @@
-// Synthetic 90 nm CMOS technology: device parameter sets (low-Vt / high-Vt,
+// Synthetic CMOS technology: device parameter sets (low-Vt / high-Vt,
 // NMOS / PMOS), process corners, and Monte-Carlo mismatch sampling.
 //
 // The paper's library is built on a commercial 90 nm PDK we do not have;
-// these parameters are textbook-plausible values for a generic 90 nm node.
-// Absolute delays/powers will differ from the paper's, but every trend the
-// paper reports (swing = Iss*R, delay-vs-Iss saturation, high-Vt leakage
-// advantage, sleep-transistor cutoff) is a topology property preserved here.
+// the built-in parameters are textbook-plausible values for a generic 90 nm
+// node.  Absolute delays/powers will differ from the paper's, but every
+// trend the paper reports (swing = Iss*R, delay-vs-Iss saturation, high-Vt
+// leakage advantage, sleep-transistor cutoff) is a topology property
+// preserved here.
+//
+// The technology is fully data-driven: a Technology is a validated
+// TechnologyParams value (name, rails, Pelgrom coefficients, and one
+// DeviceModel per polarity/Vt flavor).  The built-in 90 nm corner sets are
+// one way to construct it; the config layer (src/config) parses the same
+// structure from a JSON device-model document, so a new process node is a
+// config file, not a recompile.
 #pragma once
 
 #include <string>
@@ -21,15 +29,63 @@ enum class VtFlavor { kLowVt, kHighVt };
 std::string to_string(Corner corner);
 std::string to_string(VtFlavor flavor);
 
+/// Per-polarity/flavor device template: everything nmos()/pmos() stamp into
+/// a MosParams besides the caller's W/L.  The capacitance defaults match
+/// MosParams' own, so a template that only sets the DC fields produces
+/// devices bitwise identical to the pre-config hardcoded path.
+struct DeviceModel {
+  double vth0 = 0.3;     ///< zero-bias threshold [V], magnitude
+  double kp = 300e-6;    ///< transconductance parameter mu*Cox [A/V^2]
+  double lambda = 0.15;  ///< channel-length modulation [1/V]
+  double n_sub = 1.5;    ///< subthreshold slope factor
+  double gamma = 0.3;    ///< body-effect coefficient [sqrt(V)]
+  double phi = 0.8;      ///< surface potential [V]
+  double cox_area = 0.015;   ///< gate-oxide cap per area [F/m^2]
+  double cov_width = 3e-10;  ///< overlap cap per width [F/m]
+  double cj_width = 8e-10;   ///< junction cap per width [F/m]
+};
+
+/// Complete description of one technology corner set.  validate() throws
+/// std::invalid_argument naming the offending field, so a malformed config
+/// document fails loudly at construction, not as NaN device currents later.
+struct TechnologyParams {
+  std::string name = "cmos90";
+  std::string corner_label = "TT";
+  double vdd = 1.2;
+  double lmin = 0.1e-6;
+  double avt = 3.5e-9;  ///< Pelgrom Vth mismatch coefficient [V*m]
+  double akp = 1.0e-9;  ///< relative kp mismatch coefficient [m]
+  DeviceModel nmos_lvt;
+  DeviceModel nmos_hvt;
+  DeviceModel pmos_lvt;
+  DeviceModel pmos_hvt;
+
+  void validate() const;
+
+  /// The built-in 90 nm parameter set at a given corner (the checked-in
+  /// default config under examples/configs/ mirrors the typical corner
+  /// bitwise; a test pins that equivalence).
+  static TechnologyParams builtin90(Corner corner);
+};
+
 class Technology {
  public:
   explicit Technology(Corner corner = Corner::kTypical);
+  /// Config-driven construction path: validates and adopts `params`.
+  /// Throws std::invalid_argument (with the field name) on invalid values.
+  explicit Technology(TechnologyParams params);
 
-  double vdd() const { return vdd_; }
-  double lmin() const { return lmin_; }
+  double vdd() const { return params_.vdd; }
+  double lmin() const { return params_.lmin; }
+  /// Built-in corner enum; config-built technologies report kTypical and
+  /// carry their real identity in params().corner_label / params().name.
   Corner corner() const { return corner_; }
+  const TechnologyParams& params() const { return params_; }
+  const std::string& name() const { return params_.name; }
 
   /// Nominal device parameters for a given polarity/flavor and W/L.
+  /// Throws std::invalid_argument when `w` is not a positive finite size or
+  /// `l` is negative / non-finite (l == 0 selects lmin).
   MosParams nmos(VtFlavor flavor, double w, double l = 0.0) const;
   MosParams pmos(VtFlavor flavor, double w, double l = 0.0) const;
 
@@ -38,23 +94,16 @@ class Technology {
   MosParams with_mismatch(const MosParams& nominal, util::Rng& rng) const;
 
   /// Pelgrom coefficient for Vth mismatch [V*m].
-  double avt() const { return avt_; }
+  double avt() const { return params_.avt; }
   /// Relative kp mismatch coefficient [m].
-  double akp() const { return akp_; }
+  double akp() const { return params_.akp; }
 
  private:
-  Corner corner_;
-  double vdd_ = 1.2;
-  double lmin_ = 0.1e-6;
-  double avt_ = 3.5e-9;   // 3.5 mV*um
-  double akp_ = 1.0e-9;   // 1 %*um
-  // Corner-adjusted base parameters.
-  double kp_n_ = 0.0;
-  double kp_p_ = 0.0;
-  double vth_n_lvt_ = 0.0;
-  double vth_n_hvt_ = 0.0;
-  double vth_p_lvt_ = 0.0;
-  double vth_p_hvt_ = 0.0;
+  MosParams from_model(const DeviceModel& m, bool is_nmos, double w,
+                       double l, const char* what) const;
+
+  Corner corner_ = Corner::kTypical;
+  TechnologyParams params_;
 };
 
 }  // namespace pgmcml::spice

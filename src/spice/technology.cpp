@@ -1,6 +1,7 @@
 #include "pgmcml/spice/technology.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace pgmcml::spice {
 
@@ -17,7 +18,58 @@ std::string to_string(VtFlavor flavor) {
   return flavor == VtFlavor::kLowVt ? "LVT" : "HVT";
 }
 
-Technology::Technology(Corner corner) : corner_(corner) {
+namespace {
+
+void require_positive_finite(const std::string& tech, const char* field,
+                             double v) {
+  if (!std::isfinite(v) || v <= 0.0) {
+    throw std::invalid_argument("technology '" + tech + "': " + field +
+                                " must be positive and finite, got " +
+                                std::to_string(v));
+  }
+}
+
+void validate_model(const std::string& tech, const std::string& which,
+                    const DeviceModel& m) {
+  const auto check = [&](const char* field, double v) {
+    require_positive_finite(tech, (which + "." + field).c_str(), v);
+  };
+  check("vth0", m.vth0);
+  check("kp", m.kp);
+  check("n_sub", m.n_sub);
+  check("phi", m.phi);
+  check("cox_area", m.cox_area);
+  check("cov_width", m.cov_width);
+  check("cj_width", m.cj_width);
+  // lambda and gamma may legitimately be zero (ideal output resistance / no
+  // body effect), but never negative or non-finite.
+  if (!std::isfinite(m.lambda) || m.lambda < 0.0) {
+    throw std::invalid_argument("technology '" + tech + "': " + which +
+                                ".lambda must be finite and >= 0");
+  }
+  if (!std::isfinite(m.gamma) || m.gamma < 0.0) {
+    throw std::invalid_argument("technology '" + tech + "': " + which +
+                                ".gamma must be finite and >= 0");
+  }
+}
+
+}  // namespace
+
+void TechnologyParams::validate() const {
+  if (name.empty()) {
+    throw std::invalid_argument("technology: name must not be empty");
+  }
+  require_positive_finite(name, "vdd", vdd);
+  require_positive_finite(name, "lmin", lmin);
+  require_positive_finite(name, "avt", avt);
+  require_positive_finite(name, "akp", akp);
+  validate_model(name, "nmos_lvt", nmos_lvt);
+  validate_model(name, "nmos_hvt", nmos_hvt);
+  validate_model(name, "pmos_lvt", pmos_lvt);
+  validate_model(name, "pmos_hvt", pmos_hvt);
+}
+
+TechnologyParams TechnologyParams::builtin90(Corner corner) {
   // Generic 90 nm bulk CMOS numbers (textbook-plausible; see header note).
   double kp_n = 330e-6;  // A/V^2
   double kp_p = 120e-6;
@@ -26,7 +78,8 @@ Technology::Technology(Corner corner) : corner_(corner) {
   double vth_p_lvt = 0.24;
   double vth_p_hvt = 0.37;
 
-  switch (corner_) {
+  TechnologyParams p;
+  switch (corner) {
     case Corner::kTypical:
       break;
     case Corner::kFast:
@@ -36,7 +89,7 @@ Technology::Technology(Corner corner) : corner_(corner) {
       vth_n_hvt -= 0.04;
       vth_p_lvt -= 0.04;
       vth_p_hvt -= 0.04;
-      vdd_ = 1.32;
+      p.vdd = 1.32;
       break;
     case Corner::kSlow:
       kp_n *= 0.88;
@@ -45,51 +98,92 @@ Technology::Technology(Corner corner) : corner_(corner) {
       vth_n_hvt += 0.04;
       vth_p_lvt += 0.04;
       vth_p_hvt += 0.04;
-      vdd_ = 1.08;
+      p.vdd = 1.08;
       break;
   }
-  kp_n_ = kp_n;
-  kp_p_ = kp_p;
-  vth_n_lvt_ = vth_n_lvt;
-  vth_n_hvt_ = vth_n_hvt;
-  vth_p_lvt_ = vth_p_lvt;
-  vth_p_hvt_ = vth_p_hvt;
+  p.corner_label = to_string(corner);
+
+  const auto nmos = [&](double vth, double n_sub) {
+    DeviceModel m;
+    m.vth0 = vth;
+    m.kp = kp_n;
+    m.lambda = 0.15;
+    m.n_sub = n_sub;
+    m.gamma = 0.30;
+    m.phi = 0.80;
+    return m;
+  };
+  const auto pmos = [&](double vth, double n_sub) {
+    DeviceModel m;
+    m.vth0 = vth;
+    m.kp = kp_p;
+    m.lambda = 0.20;
+    m.n_sub = n_sub;
+    m.gamma = 0.35;
+    m.phi = 0.80;
+    return m;
+  };
+  p.nmos_lvt = nmos(vth_n_lvt, 1.45);
+  p.nmos_hvt = nmos(vth_n_hvt, 1.35);
+  p.pmos_lvt = pmos(vth_p_lvt, 1.50);
+  p.pmos_hvt = pmos(vth_p_hvt, 1.40);
+  return p;
+}
+
+Technology::Technology(Corner corner)
+    : corner_(corner), params_(TechnologyParams::builtin90(corner)) {}
+
+Technology::Technology(TechnologyParams params) : params_(std::move(params)) {
+  params_.validate();
+}
+
+MosParams Technology::from_model(const DeviceModel& m, bool is_nmos, double w,
+                                 double l, const char* what) const {
+  if (!std::isfinite(w) || w <= 0.0) {
+    throw std::invalid_argument("technology '" + params_.name + "': " + what +
+                                " width must be positive and finite, got " +
+                                std::to_string(w));
+  }
+  if (!std::isfinite(l) || l < 0.0) {
+    throw std::invalid_argument(
+        "technology '" + params_.name + "': " + what +
+        " length must be finite and >= 0 (0 selects lmin), got " +
+        std::to_string(l));
+  }
+  MosParams p;
+  p.is_nmos = is_nmos;
+  p.w = w;
+  p.l = l > 0.0 ? l : params_.lmin;
+  p.vth0 = m.vth0;
+  p.kp = m.kp;
+  p.lambda = m.lambda;
+  p.n_sub = m.n_sub;
+  p.gamma = m.gamma;
+  p.phi = m.phi;
+  p.cox_area = m.cox_area;
+  p.cov_width = m.cov_width;
+  p.cj_width = m.cj_width;
+  return p;
 }
 
 MosParams Technology::nmos(VtFlavor flavor, double w, double l) const {
-  MosParams p;
-  p.is_nmos = true;
-  p.w = w;
-  p.l = l > 0.0 ? l : lmin_;
-  p.vth0 = flavor == VtFlavor::kLowVt ? vth_n_lvt_ : vth_n_hvt_;
-  p.kp = kp_n_;
-  p.lambda = 0.15;
-  p.n_sub = flavor == VtFlavor::kLowVt ? 1.45 : 1.35;
-  p.gamma = 0.30;
-  p.phi = 0.80;
-  return p;
+  return from_model(
+      flavor == VtFlavor::kLowVt ? params_.nmos_lvt : params_.nmos_hvt,
+      /*is_nmos=*/true, w, l, "nmos");
 }
 
 MosParams Technology::pmos(VtFlavor flavor, double w, double l) const {
-  MosParams p;
-  p.is_nmos = false;
-  p.w = w;
-  p.l = l > 0.0 ? l : lmin_;
-  p.vth0 = flavor == VtFlavor::kLowVt ? vth_p_lvt_ : vth_p_hvt_;
-  p.kp = kp_p_;
-  p.lambda = 0.20;
-  p.n_sub = flavor == VtFlavor::kLowVt ? 1.50 : 1.40;
-  p.gamma = 0.35;
-  p.phi = 0.80;
-  return p;
+  return from_model(
+      flavor == VtFlavor::kLowVt ? params_.pmos_lvt : params_.pmos_hvt,
+      /*is_nmos=*/false, w, l, "pmos");
 }
 
 MosParams Technology::with_mismatch(const MosParams& nominal,
                                     util::Rng& rng) const {
   MosParams p = nominal;
   const double area = std::sqrt(p.w * p.l);
-  const double sigma_vth = avt_ / area;
-  const double sigma_kp_rel = akp_ / area;
+  const double sigma_vth = params_.avt / area;
+  const double sigma_kp_rel = params_.akp / area;
   p.vth0 += rng.gaussian(0.0, sigma_vth);
   p.kp *= std::max(0.5, 1.0 + rng.gaussian(0.0, sigma_kp_rel));
   return p;

@@ -1,0 +1,74 @@
+// Hardening of the JSON parser against untrusted input: config files come
+// from outside the process, so hostile nesting must be a ParseError (never a
+// stack overflow) and duplicate object keys must be rejected (never a silent
+// first-binding-wins lookup).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "pgmcml/obs/json.hpp"
+
+namespace pgmcml::obs::json {
+namespace {
+
+std::string nested_arrays(int depth) {
+  std::string s;
+  s.reserve(static_cast<std::size_t>(depth) * 2 + 1);
+  for (int i = 0; i < depth; ++i) s += '[';
+  s += '1';
+  for (int i = 0; i < depth; ++i) s += ']';
+  return s;
+}
+
+std::string nested_objects(int depth) {
+  std::string s;
+  for (int i = 0; i < depth; ++i) s += "{\"k\":";
+  s += '0';
+  for (int i = 0; i < depth; ++i) s += '}';
+  return s;
+}
+
+TEST(JsonHardening, DeepButLegalNestingParses) {
+  EXPECT_NO_THROW(Value::parse(nested_arrays(100)));
+  EXPECT_NO_THROW(Value::parse(nested_objects(100)));
+}
+
+TEST(JsonHardening, HostileNestingIsAParseErrorNotAStackOverflow) {
+  EXPECT_THROW(Value::parse(nested_arrays(200)), ParseError);
+  EXPECT_THROW(Value::parse(nested_objects(200)), ParseError);
+  // Far beyond the cap: must still fail cleanly, long before the stack does.
+  EXPECT_THROW(Value::parse(nested_arrays(100000)), ParseError);
+}
+
+TEST(JsonHardening, DuplicateObjectKeyIsRejected) {
+  EXPECT_THROW(Value::parse(R"({"a": 1, "a": 2})"), ParseError);
+}
+
+TEST(JsonHardening, DuplicateKeyInNestedObjectIsRejected) {
+  EXPECT_THROW(Value::parse(R"({"outer": {"x": 1, "x": 2}})"), ParseError);
+}
+
+TEST(JsonHardening, DuplicateDetectionComparesDecodedKeys) {
+  // "\u0061" decodes to "a": the duplicate must be caught after
+  // unescaping, not by comparing raw source bytes.
+  EXPECT_THROW(Value::parse(R"({"a": 1, "\u0061": 2})"), ParseError);
+}
+
+TEST(JsonHardening, SameKeyInSiblingObjectsIsFine) {
+  const Value v = Value::parse(R"({"x": {"k": 1}, "y": {"k": 2}})");
+  EXPECT_DOUBLE_EQ(v.at("x").at("k").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(v.at("y").at("k").as_number(), 2.0);
+}
+
+TEST(JsonHardening, DuplicateErrorNamesTheKeyAndOffset) {
+  try {
+    Value::parse(R"({"iss": 1, "iss": 2})");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("iss"), std::string::npos);
+    EXPECT_GT(e.offset(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace pgmcml::obs::json

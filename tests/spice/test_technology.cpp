@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
 #include "pgmcml/util/stats.hpp"
 
 namespace pgmcml::spice {
@@ -74,6 +80,86 @@ TEST(Technology, MismatchPreservesPolarityAndSize) {
   EXPECT_DOUBLE_EQ(m.w, nominal.w);
   EXPECT_DOUBLE_EQ(m.l, nominal.l);
   EXPECT_GT(m.kp, 0.0);
+}
+
+TEST(Technology, RejectsNonPositiveOrNonFiniteWidth) {
+  Technology tech;
+  EXPECT_THROW(tech.nmos(VtFlavor::kLowVt, 0.0), std::invalid_argument);
+  EXPECT_THROW(tech.nmos(VtFlavor::kLowVt, -1e-6), std::invalid_argument);
+  EXPECT_THROW(tech.nmos(VtFlavor::kLowVt, std::nan("")),
+               std::invalid_argument);
+  EXPECT_THROW(tech.pmos(VtFlavor::kHighVt,
+                         std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+}
+
+TEST(Technology, RejectsNegativeOrNonFiniteLength) {
+  Technology tech;
+  EXPECT_THROW(tech.nmos(VtFlavor::kLowVt, 1e-6, -0.1e-6),
+               std::invalid_argument);
+  EXPECT_THROW(tech.pmos(VtFlavor::kLowVt, 1e-6, std::nan("")),
+               std::invalid_argument);
+  // l == 0 is the documented "use lmin" selector, not an error.
+  EXPECT_NO_THROW(tech.nmos(VtFlavor::kLowVt, 1e-6, 0.0));
+}
+
+TEST(Technology, BadSizeErrorNamesTechnologyAndPolarity) {
+  Technology tech;
+  try {
+    tech.pmos(VtFlavor::kLowVt, -2e-6);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cmos90"), std::string::npos) << what;
+    EXPECT_NE(what.find("pmos"), std::string::npos) << what;
+  }
+}
+
+TEST(Technology, ParamsValidateRejectsBadFields) {
+  TechnologyParams p = TechnologyParams::builtin90(Corner::kTypical);
+  p.vdd = 0.0;
+  EXPECT_THROW(Technology{p}, std::invalid_argument);
+  p = TechnologyParams::builtin90(Corner::kTypical);
+  p.nmos_hvt.kp = -1.0;
+  EXPECT_THROW(Technology{p}, std::invalid_argument);
+  p = TechnologyParams::builtin90(Corner::kTypical);
+  p.pmos_lvt.phi = std::nan("");
+  EXPECT_THROW(Technology{p}, std::invalid_argument);
+  p = TechnologyParams::builtin90(Corner::kTypical);
+  p.name.clear();
+  EXPECT_THROW(Technology{p}, std::invalid_argument);
+}
+
+// Field-by-field bitwise equality (memcmp would read padding bytes).
+void expect_bitwise_equal(const MosParams& a, const MosParams& b) {
+  EXPECT_EQ(a.is_nmos, b.is_nmos);
+  EXPECT_EQ(a.w, b.w);
+  EXPECT_EQ(a.l, b.l);
+  EXPECT_EQ(a.vth0, b.vth0);
+  EXPECT_EQ(a.kp, b.kp);
+  EXPECT_EQ(a.lambda, b.lambda);
+  EXPECT_EQ(a.n_sub, b.n_sub);
+  EXPECT_EQ(a.gamma, b.gamma);
+  EXPECT_EQ(a.phi, b.phi);
+  EXPECT_EQ(a.cox_area, b.cox_area);
+  EXPECT_EQ(a.cov_width, b.cov_width);
+  EXPECT_EQ(a.cj_width, b.cj_width);
+}
+
+TEST(Technology, Builtin90ParamsReconstructTheCornerBitwise) {
+  for (const Corner corner :
+       {Corner::kTypical, Corner::kFast, Corner::kSlow}) {
+    const Technology by_corner(corner);
+    const Technology by_params(TechnologyParams::builtin90(corner));
+    EXPECT_EQ(by_params.vdd(), by_corner.vdd());
+    EXPECT_EQ(by_params.lmin(), by_corner.lmin());
+    for (const VtFlavor flavor : {VtFlavor::kLowVt, VtFlavor::kHighVt}) {
+      expect_bitwise_equal(by_params.nmos(flavor, 1e-6, 0.2e-6),
+                           by_corner.nmos(flavor, 1e-6, 0.2e-6));
+      expect_bitwise_equal(by_params.pmos(flavor, 1e-6, 0.2e-6),
+                           by_corner.pmos(flavor, 1e-6, 0.2e-6));
+    }
+  }
 }
 
 TEST(Technology, CornerNames) {
