@@ -1,5 +1,6 @@
 #include "pgmcml/config/experiment.hpp"
 
+#include "pgmcml/config/request.hpp"
 #include "pgmcml/mcml/montecarlo.hpp"
 
 namespace pgmcml::config {
@@ -202,6 +203,15 @@ cache::CacheKey experiment_digest(const Experiment& e) {
 }
 
 obs::json::Value run_experiment(const Experiment& e) {
+  return run_experiment(e, RunControl{});
+}
+
+obs::json::Value run_experiment(const Experiment& e,
+                                const RunControl& control) {
+  const auto check_cancel = [&control](const std::string& where) {
+    if (control.cancelled && control.cancelled()) throw CancelledError(where);
+  };
+  check_cancel("start");
   obs::json::Object report;
   report.emplace_back("experiment", e.name);
   report.emplace_back("digest", experiment_digest(e).hex());
@@ -221,6 +231,7 @@ obs::json::Value run_experiment(const Experiment& e) {
       const mcml::McmlDesign design = e.resolved_design();
       obs::json::Array cells;
       for (mcml::CellKind kind : e.plan.characterize.cells) {
+        check_cancel("cell " + mcml::to_string(kind));
         const mcml::CellCharacterization ch =
             mcml::characterize_cell(kind, design, e.plan.characterize.fanout);
         obs::json::Value row = mcml::to_json(ch);
@@ -307,6 +318,8 @@ void validate_document_file(const std::string& path) {
     plan_from_json(doc, path);
   } else if (kind == "testbench") {
     testbench_from_json(doc, path);
+  } else if (kind == "request") {
+    request_from_json(doc, path, dirname_of(path));
   } else {
     experiment_from_json(doc, path, dirname_of(path));
   }

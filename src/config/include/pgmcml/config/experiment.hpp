@@ -24,6 +24,7 @@
 // always use the transistor-level engine and ignore "library".
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "pgmcml/cache/key.hpp"
@@ -64,11 +65,31 @@ Experiment load_experiment_file(const std::string& path);
 /// result can be filed under.
 cache::CacheKey experiment_digest(const Experiment& e);
 
+/// Thrown by run_experiment when its RunControl reports cancellation; the
+/// service layer maps it to an "expired" response.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& where)
+      : std::runtime_error("cancelled at " + where) {}
+};
+
+/// Cooperative cancellation for service-driven runs.  `cancelled` is polled
+/// at batch boundaries -- before the plan starts and between cells of a
+/// characterization pass -- and a true return raises CancelledError there.
+/// Checks never land inside a solver call, so a run that completes is
+/// bitwise identical to an uncontrolled one.
+struct RunControl {
+  std::function<bool()> cancelled;
+};
+
 /// Runs the experiment and returns a structured report: the experiment
 /// name, digest, technology/style identification, and the task-specific
 /// results.  Throws ConfigError for plan/style combinations that cannot
 /// run (e.g. transistor-level characterization of the CMOS reference).
 obs::json::Value run_experiment(const Experiment& e);
+/// As above with cooperative cancellation (see RunControl).
+obs::json::Value run_experiment(const Experiment& e,
+                                const RunControl& control);
 
 /// Loads `path` and validates it as whatever document kind it declares
 /// (experiments validate their referenced documents too).  Throws

@@ -215,7 +215,8 @@ Reader open_document(const obs::json::Value& doc, std::string_view expect_kind,
   const std::string kind = r.require_string("kind");
   if (expect_kind.empty()) {
     static constexpr std::string_view kKnown[] = {
-        "technology", "cell_variant", "plan", "testbench", "experiment"};
+        "technology", "cell_variant", "plan", "testbench", "experiment",
+        "request"};
     bool known = false;
     for (std::string_view k : kKnown) known = known || kind == k;
     if (!known) {
