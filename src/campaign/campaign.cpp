@@ -85,7 +85,7 @@ std::uint64_t read_heartbeat(const std::string& path) {
 }
 
 WorkerCheckpoint fresh_state(const CampaignOptions& o, std::uint64_t shard) {
-  WorkerCheckpoint state(kModel, o.samples);
+  WorkerCheckpoint state(kModel, o.samples, o.static_power, o.mlpa);
   state.shard = shard;
   state.range_lo = o.shard_lo(shard);
   state.range_hi = o.shard_hi(shard);
@@ -104,8 +104,13 @@ void run_shard_range(
     WorkerCheckpoint& state, int restart,
     const std::function<void(const WorkerCheckpoint&)>* on_checkpoint,
     const std::function<void()>* heartbeat) {
-  const std::uint32_t phases = o.tvla ? 2 : 1;
-  for (std::uint32_t phase = state.phase; phase < phases; ++phase) {
+  for (std::uint32_t phase = state.phase; phase < kPhaseDone; ++phase) {
+    // Phase VALUES are stable; inactive phases are skipped over, so a
+    // checkpoint resumes into the same phase whatever toggles are off.
+    const bool active = phase == kPhaseRandom ||
+                        (phase == kPhaseFixed && o.tvla) ||
+                        (phase == kPhaseStatic && o.static_power);
+    if (!active) continue;
     if (state.phase != phase) {
       state.phase = phase;
       state.next_index = state.range_lo;
@@ -116,9 +121,9 @@ void run_shard_range(
     flow.first_trace = state.next_index;
     flow.num_traces = state.range_hi - state.next_index;
     flow.key = o.key;
-    // The fixed class is its own acquisition stream (seed+1): independent
-    // noise, same index keying, mirroring the two-source TVLA convention of
-    // bench_fig6_cpa.
+    // Each extra phase is its own acquisition stream (seed+1 for the fixed
+    // class, seed+2 for the quiescent holds): independent noise, same index
+    // keying, mirroring the two-source TVLA convention of bench_fig6_cpa.
     flow.seed = o.seed + phase;
     flow.dt = o.dt;
     flow.samples = o.samples;
@@ -128,6 +133,9 @@ void run_shard_range(
     flow.batch_size = o.batch_size;
     flow.fixed_plaintext =
         phase == kPhaseFixed ? static_cast<int>(o.fixed_plaintext) : -1;
+    if (phase == kPhaseStatic) {
+      flow.acquisition = core::AcquisitionMode::kStatic;
+    }
     if (o.worker_fault_hook) {
       const std::uint64_t shard = state.shard;
       auto hook = o.worker_fault_hook;
@@ -146,15 +154,19 @@ void run_shard_range(
       if (phase == kPhaseRandom) {
         state.cpa.add_batch(batch);
         state.dpa.add_batch(batch);
+        if (state.mlpa.has_value()) state.mlpa->add_batch(batch);
         if (o.tvla) {
           for (std::size_t i = 0; i < batch.size(); ++i) {
             state.tvla.add(false, batch.traces[i]);
           }
         }
-      } else {
+      } else if (phase == kPhaseFixed) {
         for (std::size_t i = 0; i < batch.size(); ++i) {
           state.tvla.add(true, batch.traces[i]);
         }
+      } else {
+        state.static_awake->add_batch(batch);
+        state.static_asleep->add_batch(batch);
       }
       // The resume cursor counts ATTEMPTED traces (skipped ones included),
       // read from the source: one next() can span several internal batches
@@ -194,7 +206,8 @@ void worker_process(const CampaignOptions& o,
   };
   heartbeat();  // liveness starts at the first instruction, not first batch
 
-  auto resumed = load_checkpoint(ckpt, kModel, o.samples, config_digest);
+  auto resumed = load_checkpoint(ckpt, kModel, o.samples, config_digest,
+                                 o.static_power, o.mlpa);
   WorkerCheckpoint state =
       resumed ? std::move(*resumed) : fresh_state(o, shard);
   if (state.phase == kPhaseDone) return;  // a restart raced a completion
@@ -228,9 +241,32 @@ struct MergeOutput {
   sca::CpaAccumulator cpa;
   sca::DpaAccumulator dpa;
   sca::TvlaAccumulator tvla;
-  MergeOutput(sca::LeakageModel model, std::size_t samples)
-      : cpa(model, samples), dpa(samples), tvla(samples) {}
+  std::optional<sca::StaticPowerAccumulator> static_awake;
+  std::optional<sca::StaticPowerAccumulator> static_asleep;
+  std::optional<sca::MlpaAccumulator> mlpa;
+  MergeOutput(sca::LeakageModel model, std::size_t samples, bool static_power,
+              bool with_mlpa)
+      : cpa(model, samples), dpa(samples), tvla(samples) {
+    if (static_power) {
+      static_awake.emplace(model, samples, sca::StaticWindow::kAwake);
+      static_asleep.emplace(model, samples, sca::StaticWindow::kAsleep);
+    }
+    if (with_mlpa) mlpa.emplace(samples);
+  }
 };
+
+/// Smallest boundary trace count from which the rank stays 0 to the end of
+/// the (traces, rank) sequence; 0 when the final rank is nonzero.
+std::uint64_t mtd_from_boundaries(
+    const std::vector<std::pair<std::uint64_t, int>>& boundaries) {
+  std::uint64_t mtd = 0;
+  if (boundaries.empty() || boundaries.back().second != 0) return 0;
+  for (auto it = boundaries.rbegin(); it != boundaries.rend(); ++it) {
+    if (it->second != 0) break;
+    mtd = it->first;
+  }
+  return mtd;
+}
 
 /// Merges per-shard states in ascending shard order into `result`.  Absent
 /// states (no durable checkpoint ever published) contribute nothing and
@@ -242,46 +278,95 @@ void merge_checkpoints(
     const std::vector<std::optional<WorkerCheckpoint>>& states,
     CampaignResult& result) {
   obs::ScopedTimer span("campaign.merge");
-  MergeOutput merged(kModel, o.samples);
+  MergeOutput merged(kModel, o.samples, o.static_power, o.mlpa);
   std::vector<std::pair<std::uint64_t, int>> boundaries;  // (traces, rank)
+  std::vector<std::pair<std::uint64_t, int>> awake_boundaries;
+  std::vector<std::pair<std::uint64_t, int>> asleep_boundaries;
+  std::vector<std::pair<std::uint64_t, int>> mlpa_boundaries;
   for (std::size_t s = 0; s < states.size(); ++s) {
     const std::uint64_t lo = o.shard_lo(s);
     const std::uint64_t hi = o.shard_hi(s);
     if (!states[s].has_value()) {
       result.skipped_ranges.push_back({lo, hi, kPhaseRandom});
       if (o.tvla) result.skipped_ranges.push_back({lo, hi, kPhaseFixed});
+      if (o.static_power) {
+        result.skipped_ranges.push_back({lo, hi, kPhaseStatic});
+      }
       continue;
     }
     const WorkerCheckpoint& st = *states[s];
     merged.cpa.merge(st.cpa);
     merged.dpa.merge(st.dpa);
     merged.tvla.merge(st.tvla);
+    if (merged.static_awake.has_value() && st.static_awake.has_value()) {
+      merged.static_awake->merge(*st.static_awake);
+      merged.static_asleep->merge(*st.static_asleep);
+    }
+    if (merged.mlpa.has_value() && st.mlpa.has_value()) {
+      merged.mlpa->merge(*st.mlpa);
+    }
     result.diagnostics.merge(st.diagnostics);
     if (st.phase == kPhaseRandom) {
       if (st.next_index < hi) {
         result.skipped_ranges.push_back({st.next_index, hi, kPhaseRandom});
       }
       if (o.tvla) result.skipped_ranges.push_back({lo, hi, kPhaseFixed});
-    } else if (st.phase == kPhaseFixed && st.next_index < hi) {
-      result.skipped_ranges.push_back({st.next_index, hi, kPhaseFixed});
+      if (o.static_power) {
+        result.skipped_ranges.push_back({lo, hi, kPhaseStatic});
+      }
+    } else if (st.phase == kPhaseFixed) {
+      if (st.next_index < hi) {
+        result.skipped_ranges.push_back({st.next_index, hi, kPhaseFixed});
+      }
+      if (o.static_power) {
+        result.skipped_ranges.push_back({lo, hi, kPhaseStatic});
+      }
+    } else if (st.phase == kPhaseStatic && st.next_index < hi) {
+      result.skipped_ranges.push_back({st.next_index, hi, kPhaseStatic});
     }
     if (o.compute_mtd) {
       boundaries.emplace_back(merged.cpa.num_traces(),
                               merged.cpa.snapshot().key_rank(o.key));
+      if (merged.static_awake.has_value()) {
+        awake_boundaries.emplace_back(
+            merged.static_awake->num_traces(),
+            merged.static_awake->snapshot().key_rank(o.key));
+        asleep_boundaries.emplace_back(
+            merged.static_asleep->num_traces(),
+            merged.static_asleep->snapshot().key_rank(o.key));
+      }
+      if (merged.mlpa.has_value()) {
+        mlpa_boundaries.emplace_back(merged.mlpa->num_traces(),
+                                     merged.mlpa->snapshot().key_rank(o.key));
+      }
     }
   }
   result.traces_accumulated = merged.cpa.num_traces();
   result.cpa = merged.cpa.snapshot();
   result.dpa = merged.dpa.snapshot();
   if (o.tvla) result.tvla = merged.tvla.snapshot();
+  if (merged.static_awake.has_value()) {
+    result.static_awake = merged.static_awake->snapshot();
+    result.static_asleep = merged.static_asleep->snapshot();
+    result.static_traces_accumulated = merged.static_awake->num_traces();
+    result.static_awake_rank = result.static_awake.key_rank(o.key);
+    result.static_asleep_rank = result.static_asleep.key_rank(o.key);
+    result.static_awake_margin = result.static_awake.margin(o.key);
+    result.static_asleep_margin = result.static_asleep.margin(o.key);
+  }
+  if (merged.mlpa.has_value()) {
+    result.mlpa = merged.mlpa->snapshot();
+    result.mlpa_rank = result.mlpa.key_rank(o.key);
+    result.mlpa_margin = result.mlpa.margin(o.key);
+  }
   result.key_rank = result.cpa.key_rank(o.key);
   result.margin = result.cpa.margin(o.key);
   result.mtd = 0;
-  if (o.compute_mtd && !boundaries.empty() && boundaries.back().second == 0) {
-    for (auto it = boundaries.rbegin(); it != boundaries.rend(); ++it) {
-      if (it->second != 0) break;
-      result.mtd = it->first;
-    }
+  if (o.compute_mtd) {
+    result.mtd = mtd_from_boundaries(boundaries);
+    result.static_awake_mtd = mtd_from_boundaries(awake_boundaries);
+    result.static_asleep_mtd = mtd_from_boundaries(asleep_boundaries);
+    result.mlpa_mtd = mtd_from_boundaries(mlpa_boundaries);
   }
   obs::Registry::global()
       .counter("campaign.traces_merged")
@@ -366,13 +451,15 @@ std::uint64_t campaign_config_digest(const CampaignOptions& options) {
   std::memcpy(&noise_bits, &options.noise_sigma, sizeof(noise_bits));
   char buf[256];
   std::snprintf(
-      buf, sizeof(buf), "pgc1|%d|%zu|%zu|%u|%llu|%llx|%llx|%d|%d|%u|%d|%zu",
+      buf, sizeof(buf),
+      "pgc1|%d|%zu|%zu|%u|%llu|%llx|%llx|%d|%d|%u|%d|%d|%d|%zu",
       static_cast<int>(options.style), options.num_traces, options.samples,
       options.key, static_cast<unsigned long long>(options.seed),
       static_cast<unsigned long long>(dt_bits),
       static_cast<unsigned long long>(noise_bits),
       options.gate_per_operation ? 1 : 0, options.spice_kernels ? 1 : 0,
       options.fixed_plaintext, options.tvla ? 1 : 0,
+      options.static_power ? 1 : 0, options.mlpa ? 1 : 0,
       options.effective_shard_size());
   return fnv1a64(buf);
 }
@@ -405,6 +492,8 @@ CampaignResult run_campaign_serial(const CampaignOptions& user_options) {
     outcome.random_attempted = state.range_hi - state.range_lo;
     outcome.fixed_attempted =
         options.tvla ? state.range_hi - state.range_lo : 0;
+    outcome.static_attempted =
+        options.static_power ? state.range_hi - state.range_lo : 0;
     result.shards.push_back(outcome);
     states.push_back(std::move(state));
   }
@@ -533,7 +622,7 @@ CampaignResult run_campaign(const CampaignOptions& options) {
         if (clean) {
           const auto state = load_checkpoint(
               checkpoint_path(options, w.shard), kModel, options.samples,
-              digest);
+              digest, options.static_power, options.mlpa);
           done = state.has_value() && state->phase == kPhaseDone;
         }
         if (done) {
@@ -577,7 +666,8 @@ CampaignResult run_campaign(const CampaignOptions& options) {
   states.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
     auto state = load_checkpoint(checkpoint_path(options, s), kModel,
-                                 options.samples, digest);
+                                 options.samples, digest,
+                                 options.static_power, options.mlpa);
     if (state.has_value()) {
       std::error_code size_ec;
       const auto bytes = std::filesystem::file_size(
@@ -585,15 +675,19 @@ CampaignResult run_campaign(const CampaignOptions& options) {
       if (!size_ec) handles.ckpt_bytes.add(bytes);
       ShardOutcome& outcome = result.shards[s];
       const std::uint64_t span_lo = outcome.range_lo;
-      if (state->phase == kPhaseRandom) {
-        outcome.random_attempted = state->next_index - span_lo;
-      } else {
-        outcome.random_attempted = outcome.range_hi - span_lo;
-        if (state->phase == kPhaseFixed) {
-          outcome.fixed_attempted = state->next_index - span_lo;
-        } else if (options.tvla) {
-          outcome.fixed_attempted = outcome.range_hi - span_lo;
-        }
+      const std::uint64_t full = outcome.range_hi - span_lo;
+      const std::uint64_t partial = state->next_index - span_lo;
+      outcome.random_attempted =
+          state->phase == kPhaseRandom ? partial : full;
+      if (options.tvla) {
+        outcome.fixed_attempted = state->phase < kPhaseFixed  ? 0
+                                  : state->phase == kPhaseFixed ? partial
+                                                                : full;
+      }
+      if (options.static_power) {
+        outcome.static_attempted = state->phase < kPhaseStatic  ? 0
+                                   : state->phase == kPhaseStatic ? partial
+                                                                  : full;
       }
     }
     states.push_back(std::move(state));
@@ -614,6 +708,32 @@ obs::json::Value CampaignResult::to_json() const {
   root.emplace_back("mtd", Value(static_cast<std::uint64_t>(mtd)));
   root.emplace_back("tvla_max_abs_t", Value(tvla.max_abs_t));
   root.emplace_back("tvla_leaks", Value(tvla.leaks()));
+  if (static_awake_rank >= 0) {
+    Array windows;
+    const auto window_json = [](const sca::StaticPowerResult& w, int rank,
+                                double margin, std::size_t mtd) {
+      Object o;
+      o.emplace_back("window", Value(std::string(sca::to_string(w.window))));
+      o.emplace_back("key_rank", Value(rank));
+      o.emplace_back("margin", Value(margin));
+      o.emplace_back("mtd", Value(static_cast<std::uint64_t>(mtd)));
+      return Value(std::move(o));
+    };
+    windows.push_back(window_json(static_awake, static_awake_rank,
+                                  static_awake_margin, static_awake_mtd));
+    windows.push_back(window_json(static_asleep, static_asleep_rank,
+                                  static_asleep_margin, static_asleep_mtd));
+    root.emplace_back("static_power", Value(std::move(windows)));
+    root.emplace_back("static_traces_accumulated",
+                      Value(static_traces_accumulated));
+  }
+  if (mlpa_rank >= 0) {
+    Object m;
+    m.emplace_back("key_rank", Value(mlpa_rank));
+    m.emplace_back("margin", Value(mlpa_margin));
+    m.emplace_back("mtd", Value(static_cast<std::uint64_t>(mlpa_mtd)));
+    root.emplace_back("mlpa", Value(std::move(m)));
+  }
   root.emplace_back("traces_accumulated", Value(traces_accumulated));
   root.emplace_back("workers_spawned", Value(workers_spawned));
   root.emplace_back("restarts", Value(restarts));
@@ -625,8 +745,10 @@ obs::json::Value CampaignResult::to_json() const {
     Object range;
     range.emplace_back("lo", Value(r.lo));
     range.emplace_back("hi", Value(r.hi));
-    range.emplace_back("phase",
-                       Value(r.phase == kPhaseFixed ? "fixed" : "random"));
+    range.emplace_back(
+        "phase", Value(r.phase == kPhaseFixed    ? "fixed"
+                       : r.phase == kPhaseStatic ? "static"
+                                                 : "random"));
     skipped.emplace_back(std::move(range));
   }
   root.emplace_back("skipped_ranges", Value(std::move(skipped)));
@@ -640,6 +762,7 @@ obs::json::Value CampaignResult::to_json() const {
     shard.emplace_back("restarts", Value(s.restarts));
     shard.emplace_back("random_attempted", Value(s.random_attempted));
     shard.emplace_back("fixed_attempted", Value(s.fixed_attempted));
+    shard.emplace_back("static_attempted", Value(s.static_attempted));
     shard_list.emplace_back(std::move(shard));
   }
   root.emplace_back("shards", Value(std::move(shard_list)));

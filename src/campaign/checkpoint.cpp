@@ -32,6 +32,16 @@ void serialize_body(sca::SnapshotWriter& w, const WorkerCheckpoint& state,
   state.cpa.save(w);
   state.dpa.save(w);
   state.tvla.save(w);
+  // Optional attack accumulators, presence-flagged: the flags are validated
+  // against the loader's expectation, so a toggled-off resume is a miss even
+  // if the digest ever failed to separate the configurations.
+  w.u32(state.static_awake.has_value() ? 1 : 0);
+  if (state.static_awake.has_value()) {
+    state.static_awake->save(w);
+    state.static_asleep->save(w);
+  }
+  w.u32(state.mlpa.has_value() ? 1 : 0);
+  if (state.mlpa.has_value()) state.mlpa->save(w);
 }
 
 }  // namespace
@@ -75,7 +85,9 @@ bool save_checkpoint(const std::string& path, const WorkerCheckpoint& state,
 std::optional<WorkerCheckpoint> load_checkpoint(const std::string& path,
                                                 sca::LeakageModel model,
                                                 std::size_t samples,
-                                                std::uint64_t config_digest) {
+                                                std::uint64_t config_digest,
+                                                bool static_power,
+                                                bool mlpa) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return std::nullopt;
   std::string raw;
@@ -111,11 +123,30 @@ std::optional<WorkerCheckpoint> load_checkpoint(const std::string& path,
     state.cpa = sca::CpaAccumulator::load(r);
     state.dpa = sca::DpaAccumulator::load(r);
     state.tvla = sca::TvlaAccumulator::load(r);
+    const bool has_static = r.u32() != 0;
+    if (has_static != static_power) return std::nullopt;
+    if (has_static) {
+      state.static_awake = sca::StaticPowerAccumulator::load(r);
+      state.static_asleep = sca::StaticPowerAccumulator::load(r);
+    }
+    const bool has_mlpa = r.u32() != 0;
+    if (has_mlpa != mlpa) return std::nullopt;
+    if (has_mlpa) state.mlpa = sca::MlpaAccumulator::load(r);
     if (!r.exhausted()) return std::nullopt;
     if (state.cpa.model() != model ||
         state.cpa.samples_per_trace() != samples ||
         state.dpa.samples_per_trace() != samples ||
         state.tvla.samples_per_trace() != samples) {
+      return std::nullopt;
+    }
+    if (has_static &&
+        (state.static_awake->samples_per_trace() != samples ||
+         state.static_asleep->samples_per_trace() != samples ||
+         state.static_awake->window() != sca::StaticWindow::kAwake ||
+         state.static_asleep->window() != sca::StaticWindow::kAsleep)) {
+      return std::nullopt;
+    }
+    if (has_mlpa && state.mlpa->samples_per_trace() != samples) {
       return std::nullopt;
     }
     if (state.phase > kPhaseDone || state.range_lo > state.range_hi ||

@@ -47,6 +47,11 @@ struct CampaignOptions {
   std::uint8_t fixed_plaintext = 0x52;
   bool tvla = true;
   bool compute_mtd = true;
+  /// Run the quiescent-hold phase (stream seed+2) and mount the static-power
+  /// attack on both gating windows of it.
+  bool static_power = false;
+  /// Mount the MLPA multi-bit attack on the random-class traces.
+  bool mlpa = false;
 
   /// Traces per shard; 0 = auto (16 shards).  The shard layout is a
   /// function of the options alone -- NOT of the worker count -- so any
@@ -99,13 +104,14 @@ struct ShardOutcome {
   /// (for a completed shard: the full range in each active phase).
   std::uint64_t random_attempted = 0;
   std::uint64_t fixed_attempted = 0;
+  std::uint64_t static_attempted = 0;
 };
 
 /// A global-index range a degraded campaign never processed.
 struct SkippedRange {
   std::uint64_t lo = 0;
   std::uint64_t hi = 0;
-  std::uint32_t phase = 0;  ///< kPhaseRandom or kPhaseFixed
+  std::uint32_t phase = 0;  ///< kPhaseRandom, kPhaseFixed or kPhaseStatic
 };
 
 struct CampaignResult {
@@ -115,6 +121,24 @@ struct CampaignResult {
   int key_rank = -1;
   double margin = 0.0;
   std::size_t mtd = 0;  ///< shard-boundary granularity; 0 = never disclosed
+  /// Static-power verdicts per gating window (static_power only), and the
+  /// MLPA verdict (mlpa only); MTDs at shard-boundary granularity.  The
+  /// rank/margin scalars are evaluated against the campaign key at merge
+  /// time, so to_json needs no key.
+  sca::StaticPowerResult static_awake;
+  sca::StaticPowerResult static_asleep;
+  int static_awake_rank = -1;
+  int static_asleep_rank = -1;
+  double static_awake_margin = 0.0;
+  double static_asleep_margin = 0.0;
+  std::size_t static_awake_mtd = 0;
+  std::size_t static_asleep_mtd = 0;
+  sca::MlpaResult mlpa;
+  int mlpa_rank = -1;
+  double mlpa_margin = 0.0;
+  std::size_t mlpa_mtd = 0;
+  /// Quiescent holds folded into the merged static accumulators.
+  std::uint64_t static_traces_accumulated = 0;
   /// Random-class traces folded into the merged CPA accumulator.
   std::uint64_t traces_accumulated = 0;
   spice::FlowDiagnostics diagnostics;

@@ -27,15 +27,21 @@
 
 namespace pgmcml::campaign {
 
-/// Worker phases.  TVLA needs two acquisition passes over the shard's index
-/// range: the random class (which also feeds CPA/DPA) and the fixed class.
+/// Worker phases, in execution order.  TVLA needs a second acquisition pass
+/// over the shard's index range (the fixed class); the static-power attack
+/// needs a third, quiescent-hold pass.  Inactive phases are skipped, so the
+/// phase VALUE is stable in checkpoints regardless of which toggles are on.
 enum : std::uint32_t {
-  kPhaseRandom = 0,  ///< random plaintexts: CPA + DPA + TVLA random class
+  kPhaseRandom = 0,  ///< random plaintexts: CPA + DPA + MLPA + TVLA random
   kPhaseFixed = 1,   ///< fixed plaintext (seed+1 stream): TVLA fixed class
-  kPhaseDone = 2,    ///< both passes complete; the shard is finished
+  kPhaseStatic = 2,  ///< quiescent holds (seed+2 stream): static-power attack
+  kPhaseDone = 3,    ///< every active pass complete; the shard is finished
 };
 
-/// Complete resumable state of one shard worker.
+/// Complete resumable state of one shard worker.  The static-power and MLPA
+/// accumulators exist only when the campaign toggles them on; their presence
+/// is part of the checkpoint format (and the options part of the digest), so
+/// a spool written under different toggles reads as a miss.
 struct WorkerCheckpoint {
   std::uint64_t shard = 0;
   std::uint32_t phase = kPhaseRandom;
@@ -48,10 +54,20 @@ struct WorkerCheckpoint {
   sca::CpaAccumulator cpa;
   sca::DpaAccumulator dpa;
   sca::TvlaAccumulator tvla;
+  std::optional<sca::StaticPowerAccumulator> static_awake;
+  std::optional<sca::StaticPowerAccumulator> static_asleep;
+  std::optional<sca::MlpaAccumulator> mlpa;
   spice::FlowDiagnostics diagnostics;
 
-  WorkerCheckpoint(sca::LeakageModel model, std::size_t samples)
-      : cpa(model, samples), dpa(samples), tvla(samples) {}
+  WorkerCheckpoint(sca::LeakageModel model, std::size_t samples,
+                   bool static_power = false, bool with_mlpa = false)
+      : cpa(model, samples), dpa(samples), tvla(samples) {
+    if (static_power) {
+      static_awake.emplace(model, samples, sca::StaticWindow::kAwake);
+      static_asleep.emplace(model, samples, sca::StaticWindow::kAsleep);
+    }
+    if (with_mlpa) mlpa.emplace(samples);
+  }
 };
 
 /// FNV-1a 64-bit -- the checkpoint checksum and the campaign config digest.
@@ -70,10 +86,12 @@ bool save_checkpoint(const std::string& path, const WorkerCheckpoint& state,
 /// Loads and validates a checkpoint.  Returns nullopt -- a clean miss, never
 /// a throw -- on a missing/zero-length/truncated file, checksum mismatch,
 /// config-digest mismatch, or a snapshot whose accumulators do not match
-/// (model, samples).
+/// (model, samples, which optional attack accumulators are present).
 std::optional<WorkerCheckpoint> load_checkpoint(const std::string& path,
                                                 sca::LeakageModel model,
                                                 std::size_t samples,
-                                                std::uint64_t config_digest);
+                                                std::uint64_t config_digest,
+                                                bool static_power = false,
+                                                bool mlpa = false);
 
 }  // namespace pgmcml::campaign

@@ -46,6 +46,10 @@ int usage(const char* argv0) {
       "  --spool DIR           checkpoint spool directory\n"
       "  --no-tvla             skip the fixed-class TVLA pass\n"
       "  --no-mtd              skip measurements-to-disclosure\n"
+      "  --static-power        add the quiescent-hold phase and mount the\n"
+      "                        static-power attack on both gating windows\n"
+      "  --mlpa                mount the MLPA multi-bit attack on the\n"
+      "                        random-class traces\n"
       "  --inject-crash SHARD  SIGKILL that shard's worker once (testing)\n"
       "  --serial              run the in-process serial reference only\n"
       "  --verify-serial       run both and require bitwise-equal results\n"
@@ -64,8 +68,20 @@ bool bitwise_equal(const campaign::CampaignResult& a,
                      sizeof(a.dpa.peak_difference)) == 0 &&
          std::memcmp(&a.tvla.max_abs_t, &b.tvla.max_abs_t,
                      sizeof(double)) == 0 &&
+         std::memcmp(a.static_awake.correlation.data(),
+                     b.static_awake.correlation.data(),
+                     sizeof(a.static_awake.correlation)) == 0 &&
+         std::memcmp(a.static_asleep.correlation.data(),
+                     b.static_asleep.correlation.data(),
+                     sizeof(a.static_asleep.correlation)) == 0 &&
+         std::memcmp(a.mlpa.score.data(), b.mlpa.score.data(),
+                     sizeof(a.mlpa.score)) == 0 &&
          a.key_rank == b.key_rank && a.mtd == b.mtd &&
-         a.traces_accumulated == b.traces_accumulated;
+         a.static_awake_mtd == b.static_awake_mtd &&
+         a.static_asleep_mtd == b.static_asleep_mtd &&
+         a.mlpa_mtd == b.mlpa_mtd &&
+         a.traces_accumulated == b.traces_accumulated &&
+         a.static_traces_accumulated == b.static_traces_accumulated;
 }
 
 void print_summary(const char* label, const campaign::CampaignResult& r) {
@@ -78,6 +94,20 @@ void print_summary(const char* label, const campaign::CampaignResult& r) {
       static_cast<unsigned long long>(r.restarts),
       static_cast<unsigned long long>(r.heartbeat_timeouts),
       static_cast<unsigned long long>(r.shards_skipped));
+  if (r.static_awake_rank >= 0) {
+    std::printf(
+        "%s: static_power awake rank=%d mtd=%llu | asleep rank=%d mtd=%llu "
+        "(holds=%llu)\n",
+        label, r.static_awake_rank,
+        static_cast<unsigned long long>(r.static_awake_mtd),
+        r.static_asleep_rank,
+        static_cast<unsigned long long>(r.static_asleep_mtd),
+        static_cast<unsigned long long>(r.static_traces_accumulated));
+  }
+  if (r.mlpa_rank >= 0) {
+    std::printf("%s: mlpa rank=%d margin=%.6g mtd=%llu\n", label, r.mlpa_rank,
+                r.mlpa_margin, static_cast<unsigned long long>(r.mlpa_mtd));
+  }
 }
 
 }  // namespace
@@ -178,6 +208,10 @@ int main(int argc, char** argv) {
         opt.tvla = false;
       } else if (arg == "--no-mtd") {
         opt.compute_mtd = false;
+      } else if (arg == "--static-power") {
+        opt.static_power = true;
+      } else if (arg == "--mlpa") {
+        opt.mlpa = true;
       } else if (arg == "--inject-crash") {
         inject_crash = static_cast<long long>(util::parse_u64(
             "--inject-crash", next(), 0, std::uint64_t{1} << 40));

@@ -20,13 +20,14 @@
 //     "dt": 2e-12, "noise_sigma": 2e-06,
 //     "gate_per_operation": true, "spice_kernels": false,
 //     "fixed_plaintext": -1, "batch_size": 64,
-//     "attacks": ["cpa", "dpa", "mtd"] }
+//     "acquisition": "dynamic",        // or "static" (quiescent holds)
+//     "attacks": ["cpa", "dpa", "mtd", "mlpa"] }
 //
 //   { ..., "task": "campaign",
 //     "traces": 4096, "samples": 600, "key": 43, "seed": 7,
 //     "dt": 2e-12, "noise_sigma": 2e-06, "fixed_plaintext": 82,
 //     "gate_per_operation": true, "spice_kernels": false,
-//     "attacks": ["cpa", "dpa", "tvla", "mtd"],
+//     "attacks": ["cpa", "dpa", "tvla", "mtd", "static_power", "mlpa"],
 //     "shard_size": 0, "workers": 4, "checkpoint_every": 256,
 //     "batch_size": 64, "spool_dir": "campaign-spool",
 //     "max_restarts": 3, "worker_threads": 1 }
@@ -41,9 +42,14 @@
 //         "mode": "wake", "sleep_rise_time": 1e-09 } ] }
 //
 // In both attack lists "cpa" and "dpa" are always computed and accepted for
-// self-documentation; "mtd" maps to compute_mtd and "tvla" (campaign only)
-// to CampaignOptions::tvla.  Every numeric member is optional and defaults
-// to the option struct's own default.
+// self-documentation; "mtd" maps to compute_mtd, "tvla" (campaign only) to
+// CampaignOptions::tvla, "mlpa" to the multi-linear partitioning attack, and
+// "static_power" to the quiescent-leakage attack.  A dpa_flow plan that
+// lists "static_power" must also set "acquisition": "static" (the attack
+// averages quiescent holds, not transient traces); a campaign runs the
+// static phase as its own seed+2 acquisition, so no acquisition key exists
+// there.  Every numeric member is optional and defaults to the option
+// struct's own default.
 #pragma once
 
 #include <string>

@@ -28,25 +28,42 @@ std::vector<mcml::CellKind> parse_cells(const Reader& r) {
   return out;
 }
 
+/// Optional toggles the "attacks" array can switch on, beyond the always-on
+/// cpa/dpa pair.  Null pointers mark toggles the plan kind does not offer.
+struct AttackToggles {
+  bool* mtd = nullptr;
+  bool* tvla = nullptr;
+  bool* static_power = nullptr;
+  bool* mlpa = nullptr;
+};
+
 /// Reads the "attacks" array.  "cpa"/"dpa" are always-on and accepted for
-/// self-documentation; "mtd" and (when allowed) "tvla" toggle the flags.
-void parse_attacks(const Reader& r, bool allow_tvla, bool* mtd, bool* tvla) {
+/// self-documentation; the other names toggle the matching flag.  Names
+/// whose toggle is null are still recognized, with a kind-specific error.
+void parse_attacks(const Reader& r, const AttackToggles& t) {
   const std::optional<Reader> member = r.optional_child("attacks");
   if (!member.has_value()) return;
-  *mtd = false;
-  if (tvla != nullptr) *tvla = false;
+  if (t.mtd != nullptr) *t.mtd = false;
+  if (t.tvla != nullptr) *t.tvla = false;
+  if (t.static_power != nullptr) *t.static_power = false;
+  if (t.mlpa != nullptr) *t.mlpa = false;
   for (const Reader& e : member->elements()) {
     const std::string& a = e.as_string();
     if (a == "cpa" || a == "dpa") continue;
-    if (a == "mtd") {
-      *mtd = true;
-    } else if (a == "tvla" && allow_tvla) {
-      *tvla = true;
+    if (a == "mtd" && t.mtd != nullptr) {
+      *t.mtd = true;
+    } else if (a == "tvla" && t.tvla != nullptr) {
+      *t.tvla = true;
     } else if (a == "tvla") {
       e.fail("'tvla' is only available in campaign plans");
+    } else if (a == "static_power" && t.static_power != nullptr) {
+      *t.static_power = true;
+    } else if (a == "mlpa" && t.mlpa != nullptr) {
+      *t.mlpa = true;
     } else {
       e.fail("unknown attack '" + a +
-             "' (expected one of: cpa | dpa | tvla | mtd)");
+             "' (expected one of: cpa | dpa | tvla | mtd | static_power | "
+             "mlpa)");
     }
   }
 }
@@ -145,14 +162,27 @@ Plan plan_from_json(const obs::json::Value& doc,
                              "traces", "samples", "key", "seed", "dt",
                              "noise_sigma", "gate_per_operation",
                              "spice_kernels", "fixed_plaintext", "batch_size",
-                             "keep_traces", "attacks"});
+                             "keep_traces", "attacks", "acquisition"});
       core::DpaFlowOptions& o = p.dpa_flow;
       parse_acquisition(r, o);
       o.fixed_plaintext =
           static_cast<int>(r.int_or("fixed_plaintext", o.fixed_plaintext,
                                     -1, 255));
       o.keep_traces = r.bool_or("keep_traces", o.keep_traces);
-      parse_attacks(r, /*allow_tvla=*/false, &o.compute_mtd, nullptr);
+      o.acquisition = r.enum_or("acquisition", {"dynamic", "static"}, 0) == 1
+                          ? core::AcquisitionMode::kStatic
+                          : core::AcquisitionMode::kDynamic;
+      AttackToggles toggles;
+      toggles.mtd = &o.compute_mtd;
+      toggles.static_power = &o.compute_static;
+      toggles.mlpa = &o.compute_mlpa;
+      parse_attacks(r, toggles);
+      if (o.compute_static &&
+          o.acquisition != core::AcquisitionMode::kStatic) {
+        r.child("attacks").fail(
+            "'static_power' requires \"acquisition\": \"static\" (the attack "
+            "averages quiescent holds, not transient traces)");
+      }
       break;
     }
     case PlanTask::kCampaign: {
@@ -165,7 +195,12 @@ Plan plan_from_json(const obs::json::Value& doc,
       campaign::CampaignOptions& o = p.campaign;
       parse_acquisition(r, o);
       o.fixed_plaintext = byte_or(r, "fixed_plaintext", o.fixed_plaintext);
-      parse_attacks(r, /*allow_tvla=*/true, &o.compute_mtd, &o.tvla);
+      AttackToggles toggles;
+      toggles.mtd = &o.compute_mtd;
+      toggles.tvla = &o.tvla;
+      toggles.static_power = &o.static_power;
+      toggles.mlpa = &o.mlpa;
+      parse_attacks(r, toggles);
       o.shard_size = static_cast<std::size_t>(r.int_or(
           "shard_size", static_cast<std::int64_t>(o.shard_size), 0,
           kMaxCount));

@@ -1,6 +1,7 @@
 #include "pgmcml/core/dpa_flow.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -227,7 +228,11 @@ class ReducedAesSource final : public AcquisitionSource {
         sim.apply_and_settle(stimulus);
 
         plaintexts_[i] = plaintext;
-        tracer_->trace_into(sim.events(), schedule_, t, rows_[i]);
+        if (options_.acquisition == AcquisitionMode::kStatic) {
+          compose_static_trace(sim, t, rows_[i]);
+        } else {
+          tracer_->trace_into(sim.events(), schedule_, t, rows_[i]);
+        }
         if (attempt > 0) trace_diag_[i].record_recovery(stage);
         return;
       } catch (const std::exception& e) {
@@ -240,6 +245,40 @@ class ReducedAesSource final : public AcquisitionSource {
       }
     }
   }
+
+  /// Quiescent acquisition: the circuit holds the evaluated state and every
+  /// sample is one DC measurement of the supply leakage -- awake for the
+  /// first window, gated off (where the library can gate) for the second.
+  /// Noise is drawn per sample from a stream keyed on the GLOBAL trace
+  /// index, decorrelated from the plaintext stream, so static traces carry
+  /// the same shard/resume determinism as dynamic ones.
+  void compose_static_trace(const LogicSim& sim, std::size_t t,
+                            std::vector<double>& out) const {
+    const std::size_t m = options_.samples;
+    out.resize(m);
+    const auto awake_window =
+        sca::static_window_bounds(sca::StaticWindow::kAwake, m);
+    const double i_awake = tracer_->quiescent_current(sim, true);
+    const double i_asleep = tracer_->quiescent_current(sim, false);
+    const power::TraceOptions& topt = tracer_->options();
+    util::Rng noise = util::Rng::stream(options_.seed ^ kStaticNoiseStream, t);
+    for (std::size_t j = 0; j < m; ++j) {
+      const double level = j < awake_window.second ? i_awake : i_asleep;
+      if (topt.include_noise) {
+        // Same front-end model as the transient tracer: scope noise plus
+        // regulator noise proportional to the flowing current.
+        const double sigma =
+            topt.noise_sigma + topt.supply_noise_ratio * level;
+        out[j] = level + noise.gaussian(0.0, sigma);
+      } else {
+        out[j] = level;
+      }
+    }
+  }
+
+  /// Seed perturbation for the static-noise stream (distinct from the
+  /// plaintext stream keyed on the raw seed).
+  static constexpr std::uint64_t kStaticNoiseStream = 0x57a71cc0ffeeULL;
 
   DpaFlowOptions options_;
   cells::CellLibrary library_;  ///< by value: the source owns its target
@@ -287,17 +326,48 @@ sca::TraceSet acquire_reduced_aes_traces(const cells::CellLibrary& library,
 DpaFlowResult run_dpa_flow(const cells::CellLibrary& library,
                            const DpaFlowOptions& options) {
   obs::ScopedTimer span("core.dpa_flow");
+  if (options.compute_static &&
+      options.acquisition != AcquisitionMode::kStatic) {
+    throw std::invalid_argument(
+        "run_dpa_flow: the static-power attack needs a static (quiescent) "
+        "acquisition");
+  }
   auto source = make_acquisition_source(library, options);
   DpaFlowResult result;
   result.stats = source->design_stats();
 
   // One streamed pass feeds every consumer: the CPA engine (checkpointed by
-  // the MTD tracker when requested), the DPA engine, and -- only when the
-  // caller wants the matrix -- the materialized trace copy.
+  // the MTD tracker when requested), the DPA engine, the optional static /
+  // MLPA engines, and -- only when the caller wants the matrix -- the
+  // materialized trace copy.
   const auto model = sca::LeakageModel::kHammingWeight;
   sca::MtdTracker mtd(model, options.samples, options.key, options.num_traces);
   sca::CpaAccumulator cpa(model, options.samples);
   sca::DpaAccumulator dpa(options.samples);
+  // Optional engines live behind optionals: the MLPA state alone is
+  // 256 x 8 x samples doubles, too big to allocate speculatively.
+  std::optional<sca::StaticMtdTracker> st_awake_mtd, st_asleep_mtd;
+  std::optional<sca::StaticPowerAccumulator> st_awake, st_asleep;
+  std::optional<sca::MlpaMtdTracker> mlpa_mtd;
+  std::optional<sca::MlpaAccumulator> mlpa;
+  if (options.compute_static) {
+    if (options.compute_mtd) {
+      st_awake_mtd.emplace(model, options.samples, sca::StaticWindow::kAwake,
+                           options.key, options.num_traces);
+      st_asleep_mtd.emplace(model, options.samples, sca::StaticWindow::kAsleep,
+                            options.key, options.num_traces);
+    } else {
+      st_awake.emplace(model, options.samples, sca::StaticWindow::kAwake);
+      st_asleep.emplace(model, options.samples, sca::StaticWindow::kAsleep);
+    }
+  }
+  if (options.compute_mlpa) {
+    if (options.compute_mtd) {
+      mlpa_mtd.emplace(options.samples, options.key, options.num_traces);
+    } else {
+      mlpa.emplace(options.samples);
+    }
+  }
   if (options.keep_traces) {
     result.traces = sca::TraceSet(options.samples);
     result.traces.reserve(options.num_traces);
@@ -310,6 +380,12 @@ DpaFlowResult run_dpa_flow(const cells::CellLibrary& library,
       cpa.add_batch(batch);
     }
     dpa.add_batch(batch);
+    if (st_awake_mtd) st_awake_mtd->add_batch(batch);
+    if (st_asleep_mtd) st_asleep_mtd->add_batch(batch);
+    if (st_awake) st_awake->add_batch(batch);
+    if (st_asleep) st_asleep->add_batch(batch);
+    if (mlpa_mtd) mlpa_mtd->add_batch(batch);
+    if (mlpa) mlpa->add_batch(batch);
     if (options.keep_traces) {
       for (std::size_t i = 0; i < batch.size(); ++i) {
         result.traces.add(batch.plaintexts[i],
@@ -328,6 +404,21 @@ DpaFlowResult run_dpa_flow(const cells::CellLibrary& library,
     result.cpa = cpa.snapshot(options.keep_time_curves);
   }
   result.dpa = dpa.snapshot();
+  if (st_awake_mtd) {
+    result.static_awake = st_awake_mtd->snapshot();
+    result.static_awake_mtd = st_awake_mtd->finish();
+    result.static_asleep = st_asleep_mtd->snapshot();
+    result.static_asleep_mtd = st_asleep_mtd->finish();
+  } else if (st_awake) {
+    result.static_awake = st_awake->snapshot();
+    result.static_asleep = st_asleep->snapshot();
+  }
+  if (mlpa_mtd) {
+    result.mlpa = mlpa_mtd->snapshot();
+    result.mlpa_mtd = mlpa_mtd->finish();
+  } else if (mlpa) {
+    result.mlpa = mlpa->snapshot();
+  }
   result.key_rank = result.cpa.key_rank(options.key);
   result.margin = result.cpa.margin(options.key);
   return result;

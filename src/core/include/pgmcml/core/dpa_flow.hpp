@@ -24,6 +24,19 @@
 
 namespace pgmcml::core {
 
+/// What the acquisition measures per trace.
+enum class AcquisitionMode {
+  /// Transient supply-current trace of the evaluation (the Fig. 6 setup).
+  kDynamic,
+  /// Quiescent leakage current while the circuit HOLDS each state: the
+  /// samples are repeated DC measurements, laid out as [awake hold | asleep
+  /// hold] (see sca::static_window_bounds).  For power-gated libraries the
+  /// second window measures the gated-off floor; non-gated libraries keep
+  /// holding, so both windows see the same physics.  This is the
+  /// measurement a static-power attack (Bhandari et al.) averages.
+  kStatic,
+};
+
 struct DpaFlowOptions {
   std::size_t num_traces = 2000;
   /// Global index of the first trace this source produces.  Rng streams,
@@ -45,6 +58,15 @@ struct DpaFlowOptions {
   bool gate_per_operation = true;
   bool keep_time_curves = false;
   bool compute_mtd = false;
+  /// Transient traces (dynamic attacks) or quiescent holds (static attacks).
+  AcquisitionMode acquisition = AcquisitionMode::kDynamic;
+  /// Mount the static-power attack on both gating windows of a quiescent
+  /// acquisition.  Requires acquisition == kStatic (run_dpa_flow throws
+  /// std::invalid_argument otherwise -- the config layer rejects such plans
+  /// with a path-qualified error before they get here).
+  bool compute_static = false;
+  /// Mount the MLPA multi-bit attack on the acquired traces (any mode).
+  bool compute_mlpa = false;
   /// When >= 0, every acquisition uses this fixed plaintext byte (for the
   /// TVLA fixed class); -1 = random plaintexts.
   int fixed_plaintext = -1;
@@ -74,6 +96,14 @@ struct DpaFlowResult {
   int key_rank = -1;       ///< 0 = key disclosed
   double margin = 0.0;     ///< true-key peak minus best wrong guess
   std::size_t mtd = 0;     ///< measurements to disclosure (0 = never)
+  /// Static-power verdicts per gating window (compute_static only).
+  sca::StaticPowerResult static_awake;
+  sca::StaticPowerResult static_asleep;
+  std::size_t static_awake_mtd = 0;   ///< MTD of the awake-window attack
+  std::size_t static_asleep_mtd = 0;  ///< MTD of the asleep-window attack
+  /// MLPA verdict (compute_mlpa only).
+  sca::MlpaResult mlpa;
+  std::size_t mlpa_mtd = 0;
   netlist::Design::Stats stats;
   double mean_current = 0.0;  ///< average supply current over all traces [A]
   /// Aggregated acquisition outcomes: kernel-extraction retries, per-trace

@@ -83,6 +83,24 @@ class PowerTracer {
                   const SleepSchedule& schedule, std::uint64_t nonce,
                   std::vector<double>& out) const;
 
+  /// Quiescent (DC) supply current of the block holding the state of `sim`
+  /// [A] -- the observable of the static-power side channel.  Unlike the
+  /// transient floors above, the quiescent current is state-dependent:
+  ///   CMOS:     subthreshold leakage differs between output-high (NMOS
+  ///             stack leaking) and output-low (PMOS stack leaking) -- the
+  ///             asymmetry is systematic across a die, so the block's
+  ///             leakage tracks the held state's Hamming weight.
+  ///   MCML:     each cell's tail current splits over two never-perfectly-
+  ///             matched legs; the imbalance has an instance-random part
+  ///             (residual_) plus a small systematic part shared by every
+  ///             cell of a layout orientation, so the DC draw also tracks
+  ///             the state.
+  ///   PG-MCML:  awake behaves like MCML; `awake == false` with a gated
+  ///             library returns the state-independent sleep floor -- the
+  ///             starvation the static-power attack bench quantifies.
+  /// For non-gated libraries `awake` is ignored (there is no sleep state).
+  double quiescent_current(const netlist::LogicSim& sim, bool awake) const;
+
   /// Total static current of the block when awake [A].
   double awake_current() const { return awake_current_; }
   /// Total gated-off leakage current [A].

@@ -163,6 +163,50 @@ void PowerTracer::trace_into(const std::vector<SimEvent>& events,
   }
 }
 
+namespace {
+
+/// Systematic state dependence of the quiescent current, relative to each
+/// instance's static floor.  Both are DIE-WIDE constants, not per-instance
+/// draws: a per-instance random sign would average the block-level signal
+/// toward zero, while the physical effects they model are shared -- CMOS
+/// NMOS-vs-PMOS subthreshold leakage asymmetry tracks the global process
+/// corner, and MCML leg imbalance has a common layout-orientation component
+/// on top of the per-instance residual_.  Magnitudes are calibrated against
+/// the transistor-level state-leakage measurement
+/// (mcml::measure_state_leakage), which shows the same ordering.
+constexpr double kCmosStateLeakAsym = 0.35;
+constexpr double kMcmlSystematicImbalance = 0.006;
+
+}  // namespace
+
+double PowerTracer::quiescent_current(const netlist::LogicSim& sim,
+                                      bool awake) const {
+  const LogicStyle style = library_.style();
+  if (!awake && library_.power_gated()) {
+    // Gated off: the sleep devices cut the pairs from the rails, leaving a
+    // state-independent leakage floor.  This is the quantitative form of
+    // the paper's power-gating argument -- nothing here depends on sim.
+    return sleep_current_;
+  }
+  double current = 0.0;
+  const std::size_t n = design_.num_instances();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& inst = design_.instance(static_cast<InstId>(i));
+    const auto& cell = library_.cell(inst.kind);
+    const bool state = !inst.outputs.empty() && sim.value(inst.outputs[0]);
+    const double sign = state ? 1.0 : -1.0;
+    if (style == LogicStyle::kCmos) {
+      const double base =
+          cell.leakage_power / library_.vdd() * static_scale_[i];
+      current += base * (1.0 + kCmosStateLeakAsym * sign);
+    } else {
+      const double iss = cell.static_current * static_scale_[i];
+      current += iss * (1.0 + (residual_[i] + kMcmlSystematicImbalance) * sign);
+    }
+  }
+  return current;
+}
+
 double PowerTracer::average_power(const std::vector<double>& trace) const {
   return util::mean(trace) * library_.vdd();
 }

@@ -47,6 +47,14 @@ EngineCounters& tvla_obs() {
   static EngineCounters c("sca.tvla");
   return c;
 }
+EngineCounters& static_obs() {
+  static EngineCounters c("sca.static");
+  return c;
+}
+EngineCounters& mlpa_obs() {
+  static EngineCounters c("sca.mlpa");
+  return c;
+}
 
 void check_trace_width(std::size_t got, std::size_t want, const char* who) {
   if (got != want) {
@@ -391,21 +399,262 @@ TvlaResult TvlaAccumulator::snapshot() const {
 }
 
 // ---------------------------------------------------------------------------
-// MtdTracker
+// StaticPowerAccumulator
+
+StaticPowerAccumulator::StaticPowerAccumulator(LeakageModel model,
+                                               std::size_t samples,
+                                               StaticWindow window)
+    : model_(model), window_(window), m_(samples) {}
+
+void StaticPowerAccumulator::add(std::uint8_t plaintext,
+                                 std::span<const double> trace) {
+  TraceBatch one;
+  one.add(plaintext, trace);
+  add_batch(one);
+}
+
+void StaticPowerAccumulator::add_batch(const TraceBatch& batch) {
+  const std::size_t nb = batch.size();
+  if (nb == 0) return;
+  for (const auto& t : batch.traces) {
+    check_trace_width(t.size(), m_, "StaticPowerAccumulator");
+  }
+  const auto [lo, hi] = static_window_bounds(window_, m_);
+  const double width = static_cast<double>(hi - lo);
+  // Serial fold: 257 Welford slots total, so parallelizing would only buy
+  // contention.  Trace order fixes the arithmetic sequence per slot, which
+  // is the whole batch/thread-invariance argument.
+  for (std::size_t i = 0; i < nb; ++i) {
+    const auto& t = batch.traces[i];
+    double sum = 0.0;
+    for (std::size_t j = lo; j < hi; ++j) sum += t[j];
+    const double x = width > 0.0 ? sum / width : 0.0;
+
+    const double cnt = static_cast<double>(++n_);
+    const double dx = x - mean_x_;
+    mean_x_ += dx / cnt;
+    const double dx_new = x - mean_x_;
+    m2_x_ += dx * dx_new;
+    for (int k = 0; k < 256; ++k) {
+      const double h = predict_leakage(model_, batch.plaintexts[i],
+                                       static_cast<std::uint8_t>(k));
+      const double dh = h - mean_h_[k];
+      mean_h_[k] += dh / cnt;
+      m2_h_[k] += dh * (h - mean_h_[k]);
+      comoment_[k] += dh * dx_new;
+    }
+  }
+  static_obs().note_rows(nb, m_);
+}
+
+void StaticPowerAccumulator::merge(const StaticPowerAccumulator& other) {
+  static_obs().merges.add(1);
+  if (other.model_ != model_ || other.window_ != window_ || other.m_ != m_) {
+    throw std::invalid_argument(
+        "StaticPowerAccumulator::merge: model/window/sample-count mismatch");
+  }
+  if (other.n_ == 0) return;
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  const double w = na * nb / n;  // Chan's cross-term weight
+  const double dx = other.mean_x_ - mean_x_;
+  for (int k = 0; k < 256; ++k) {
+    const double dh = other.mean_h_[k] - mean_h_[k];
+    comoment_[k] += other.comoment_[k] + dh * dx * w;
+    m2_h_[k] += other.m2_h_[k] + dh * dh * w;
+    mean_h_[k] += dh * nb / n;
+  }
+  m2_x_ += other.m2_x_ + dx * dx * w;
+  mean_x_ += dx * nb / n;
+  n_ += other.n_;
+}
+
+StaticPowerResult StaticPowerAccumulator::snapshot() const {
+  StaticPowerResult result;
+  result.window = window_;
+  result.traces = n_;
+  if (n_ < 2) return result;
+  for (int k = 0; k < 256; ++k) {
+    const double denom = std::sqrt(m2_h_[k] * m2_x_);
+    result.correlation[k] =
+        denom > 0.0 ? std::fabs(comoment_[k] / denom) : 0.0;
+  }
+  result.best_guess = static_cast<int>(
+      std::max_element(result.correlation.begin(), result.correlation.end()) -
+      result.correlation.begin());
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// MlpaAccumulator
+
+MlpaAccumulator::MlpaAccumulator(std::size_t samples)
+    : m_(samples), total_(samples, 0.0), sum1_(256 * 8 * samples, 0.0) {}
+
+void MlpaAccumulator::add(std::uint8_t plaintext,
+                          std::span<const double> trace) {
+  TraceBatch one;
+  one.add(plaintext, trace);
+  add_batch(one);
+}
+
+void MlpaAccumulator::add_batch(const TraceBatch& batch) {
+  const std::size_t nb = batch.size();
+  if (nb == 0) return;
+  for (const auto& t : batch.traces) {
+    check_trace_width(t.size(), m_, "MlpaAccumulator");
+  }
+  // Guess-independent total row, folded serially in trace order.
+  for (std::size_t i = 0; i < nb; ++i) {
+    const auto& t = batch.traces[i];
+    for (std::size_t j = 0; j < m_; ++j) total_[j] += t[j];
+  }
+  // Each guess's 8 partition rows and counts are owned by exactly one task
+  // and walk the batch in trace order: bitwise identical to serial add().
+  util::parallel_for(256, [&](std::size_t kk) {
+    const auto k = static_cast<std::uint8_t>(kk);
+    for (std::size_t i = 0; i < nb; ++i) {
+      const std::uint8_t v = aes::reduced_target(batch.plaintexts[i], k);
+      const auto& t = batch.traces[i];
+      for (int b = 0; b < 8; ++b) {
+        if (((v >> b) & 1) == 0) continue;
+        ++n1_[kk][static_cast<std::size_t>(b)];
+        double* row =
+            sum1_.data() + (kk * 8 + static_cast<std::size_t>(b)) * m_;
+        for (std::size_t j = 0; j < m_; ++j) row[j] += t[j];
+      }
+    }
+  });
+  n_ += nb;
+  mlpa_obs().note_rows(nb, m_);
+}
+
+void MlpaAccumulator::merge(const MlpaAccumulator& other) {
+  mlpa_obs().merges.add(1);
+  if (other.m_ != m_) {
+    throw std::invalid_argument(
+        "MlpaAccumulator::merge: sample-count mismatch");
+  }
+  for (std::size_t j = 0; j < total_.size(); ++j) total_[j] += other.total_[j];
+  for (std::size_t i = 0; i < sum1_.size(); ++i) sum1_[i] += other.sum1_[i];
+  for (int k = 0; k < 256; ++k) {
+    for (int b = 0; b < 8; ++b) n1_[k][b] += other.n1_[k][b];
+  }
+  n_ += other.n_;
+}
+
+MlpaResult MlpaAccumulator::snapshot() const {
+  MlpaResult result;
+  if (n_ < 2 || m_ == 0) return result;
+  for (int k = 0; k < 256; ++k) {
+    const double* rows[8];
+    double inv1[8];
+    double inv0[8];
+    bool usable[8];
+    for (int b = 0; b < 8; ++b) {
+      const std::size_t n1 = n1_[k][b];
+      const std::size_t n0 = n_ - n1;
+      usable[b] = n1 > 0 && n0 > 0;
+      rows[b] = sum1_.data() +
+                (static_cast<std::size_t>(k) * 8 + static_cast<std::size_t>(b)) *
+                    m_;
+      inv1[b] = usable[b] ? 1.0 / static_cast<double>(n1) : 0.0;
+      inv0[b] = usable[b] ? 1.0 / static_cast<double>(n0) : 0.0;
+    }
+    double peak_sq = 0.0;
+    for (std::size_t j = 0; j < m_; ++j) {
+      double sq = 0.0;
+      for (int b = 0; b < 8; ++b) {
+        if (!usable[b]) continue;
+        // bit = 0 partition sum is total - sum1: the multi-linear combiner
+        // needs only the 1-partitions and the guess-independent total.
+        const double diff =
+            rows[b][j] * inv1[b] - (total_[j] - rows[b][j]) * inv0[b];
+        sq += diff * diff;
+      }
+      peak_sq = std::max(peak_sq, sq);
+    }
+    result.score[k] = std::sqrt(peak_sq);
+  }
+  result.best_guess = static_cast<int>(
+      std::max_element(result.score.begin(), result.score.end()) -
+      result.score.begin());
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// MTD trackers.  All three share the same grid scheme (build the
+// prefix-rerun grid, split batches at grid boundaries, record the true
+// key's rank at each point); only the underlying accumulator differs.
+
+namespace {
+
+void build_mtd_grid(std::size_t expected_traces, std::size_t grid_points,
+                    std::vector<std::size_t>& grid,
+                    std::vector<char>& success) {
+  // Same grid as the prefix-rerun implementation; an empty grid (campaign
+  // too small, degenerate grid) makes finish() report "never disclosed".
+  if (expected_traces >= 4 && grid_points >= 2) {
+    for (std::size_t g = 1; g <= grid_points; ++g) {
+      grid.push_back(
+          std::max<std::size_t>(4, g * expected_traces / grid_points));
+    }
+    success.assign(grid.size(), 0);
+  }
+}
+
+/// Feeds `batch` to `acc` split at the grid boundaries, firing `checkpoint`
+/// whenever the stream crosses one.  `next_grid` is the tracker's cursor by
+/// reference: each checkpoint() call advances it.  Splitting does not
+/// perturb the final accumulator state: add_batch is invariant to any
+/// batching of the stream.
+template <typename Acc, typename CheckpointFn>
+void grid_add_batch(Acc& acc, const TraceBatch& batch,
+                    const std::vector<std::size_t>& grid,
+                    const std::size_t& next_grid, TraceBatch& scratch,
+                    CheckpointFn checkpoint) {
+  std::size_t pos = 0;
+  while (pos < batch.size()) {
+    std::size_t take = batch.size() - pos;
+    if (next_grid < grid.size() && acc.num_traces() < grid[next_grid]) {
+      take = std::min(take, grid[next_grid] - acc.num_traces());
+    }
+    if (pos == 0 && take == batch.size()) {
+      acc.add_batch(batch);
+    } else {
+      scratch.clear();
+      for (std::size_t i = pos; i < pos + take; ++i) {
+        scratch.add(batch.plaintexts[i], batch.traces[i]);
+      }
+      acc.add_batch(scratch);
+    }
+    pos += take;
+    while (next_grid < grid.size() && grid[next_grid] <= acc.num_traces()) {
+      checkpoint();
+    }
+  }
+}
+
+std::size_t finish_mtd_grid(const std::vector<std::size_t>& grid,
+                            const std::vector<char>& success) {
+  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+    bool stable = true;
+    for (std::size_t gj = gi; gj < grid.size(); ++gj) {
+      stable = stable && success[gj] != 0;
+    }
+    if (stable) return grid[gi];
+  }
+  return 0;
+}
+
+}  // namespace
 
 MtdTracker::MtdTracker(LeakageModel model, std::size_t samples,
                        std::uint8_t true_key, std::size_t expected_traces,
                        std::size_t grid_points)
     : acc_(model, samples), true_key_(true_key) {
-  // Same grid as the prefix-rerun implementation; an empty grid (campaign
-  // too small, degenerate grid) makes finish() report "never disclosed".
-  if (expected_traces >= 4 && grid_points >= 2) {
-    for (std::size_t g = 1; g <= grid_points; ++g) {
-      grid_.push_back(
-          std::max<std::size_t>(4, g * expected_traces / grid_points));
-    }
-    success_.assign(grid_.size(), 0);
-  }
+  build_mtd_grid(expected_traces, grid_points, grid_, success_);
 }
 
 void MtdTracker::add(std::uint8_t plaintext, std::span<const double> trace) {
@@ -421,27 +670,8 @@ void MtdTracker::checkpoint() {
 }
 
 void MtdTracker::add_batch(const TraceBatch& batch) {
-  std::size_t pos = 0;
-  while (pos < batch.size()) {
-    std::size_t take = batch.size() - pos;
-    if (next_grid_ < grid_.size() && acc_.num_traces() < grid_[next_grid_]) {
-      take = std::min(take, grid_[next_grid_] - acc_.num_traces());
-    }
-    if (pos == 0 && take == batch.size()) {
-      acc_.add_batch(batch);
-    } else {
-      scratch_.clear();
-      for (std::size_t i = pos; i < pos + take; ++i) {
-        scratch_.add(batch.plaintexts[i], batch.traces[i]);
-      }
-      acc_.add_batch(scratch_);
-    }
-    pos += take;
-    while (next_grid_ < grid_.size() &&
-           grid_[next_grid_] <= acc_.num_traces()) {
-      checkpoint();
-    }
-  }
+  grid_add_batch(acc_, batch, grid_, next_grid_, scratch_,
+                 [this] { checkpoint(); });
 }
 
 std::size_t MtdTracker::finish() {
@@ -449,14 +679,68 @@ std::size_t MtdTracker::finish() {
   // campaign): judge them on the final state, i.e. "the largest prefix we
   // actually have".
   while (next_grid_ < grid_.size()) checkpoint();
-  for (std::size_t gi = 0; gi < grid_.size(); ++gi) {
-    bool stable = true;
-    for (std::size_t gj = gi; gj < grid_.size(); ++gj) {
-      stable = stable && success_[gj] != 0;
-    }
-    if (stable) return grid_[gi];
-  }
-  return 0;
+  return finish_mtd_grid(grid_, success_);
+}
+
+StaticMtdTracker::StaticMtdTracker(LeakageModel model, std::size_t samples,
+                                   StaticWindow window, std::uint8_t true_key,
+                                   std::size_t expected_traces,
+                                   std::size_t grid_points)
+    : acc_(model, samples, window), true_key_(true_key) {
+  build_mtd_grid(expected_traces, grid_points, grid_, success_);
+}
+
+void StaticMtdTracker::add(std::uint8_t plaintext,
+                           std::span<const double> trace) {
+  TraceBatch one;
+  one.add(plaintext, trace);
+  add_batch(one);
+}
+
+void StaticMtdTracker::checkpoint() {
+  const StaticPowerResult r = acc_.snapshot();
+  success_[next_grid_] = r.key_rank(true_key_) == 0 ? 1 : 0;
+  ++next_grid_;
+}
+
+void StaticMtdTracker::add_batch(const TraceBatch& batch) {
+  grid_add_batch(acc_, batch, grid_, next_grid_, scratch_,
+                 [this] { checkpoint(); });
+}
+
+std::size_t StaticMtdTracker::finish() {
+  while (next_grid_ < grid_.size()) checkpoint();
+  return finish_mtd_grid(grid_, success_);
+}
+
+MlpaMtdTracker::MlpaMtdTracker(std::size_t samples, std::uint8_t true_key,
+                               std::size_t expected_traces,
+                               std::size_t grid_points)
+    : acc_(samples), true_key_(true_key) {
+  build_mtd_grid(expected_traces, grid_points, grid_, success_);
+}
+
+void MlpaMtdTracker::add(std::uint8_t plaintext,
+                         std::span<const double> trace) {
+  TraceBatch one;
+  one.add(plaintext, trace);
+  add_batch(one);
+}
+
+void MlpaMtdTracker::checkpoint() {
+  const MlpaResult r = acc_.snapshot();
+  success_[next_grid_] = r.key_rank(true_key_) == 0 ? 1 : 0;
+  ++next_grid_;
+}
+
+void MlpaMtdTracker::add_batch(const TraceBatch& batch) {
+  grid_add_batch(acc_, batch, grid_, next_grid_, scratch_,
+                 [this] { checkpoint(); });
+}
+
+std::size_t MlpaMtdTracker::finish() {
+  while (next_grid_ < grid_.size()) checkpoint();
+  return finish_mtd_grid(grid_, success_);
 }
 
 // ---------------------------------------------------------------------------
@@ -557,36 +841,151 @@ TvlaAccumulator TvlaAccumulator::load(SnapshotReader& r) {
   return acc;
 }
 
+void StaticPowerAccumulator::save(SnapshotWriter& w) const {
+  w.tag("SPA1");
+  w.u32(static_cast<std::uint32_t>(model_));
+  w.u32(static_cast<std::uint32_t>(window_));
+  w.u64(m_);
+  w.u64(n_);
+  save_span(w, mean_h_.data(), mean_h_.size());
+  save_span(w, m2_h_.data(), m2_h_.size());
+  w.f64(mean_x_);
+  w.f64(m2_x_);
+  save_span(w, comoment_.data(), comoment_.size());
+}
+
+StaticPowerAccumulator StaticPowerAccumulator::load(SnapshotReader& r) {
+  r.expect_tag("SPA1");
+  const std::uint32_t model = r.u32();
+  if (model > kMaxLeakageModel) {
+    throw std::runtime_error(
+        "StaticPowerAccumulator::load: unknown leakage model");
+  }
+  const std::uint32_t window = r.u32();
+  if (window > static_cast<std::uint32_t>(StaticWindow::kAsleep)) {
+    throw std::runtime_error(
+        "StaticPowerAccumulator::load: unknown static window");
+  }
+  const std::size_t m = static_cast<std::size_t>(r.u64());
+  StaticPowerAccumulator acc(static_cast<LeakageModel>(model), m,
+                             static_cast<StaticWindow>(window));
+  acc.n_ = static_cast<std::size_t>(r.u64());
+  load_exact(r, acc.mean_h_.data(), acc.mean_h_.size());
+  load_exact(r, acc.m2_h_.data(), acc.m2_h_.size());
+  acc.mean_x_ = r.f64();
+  acc.m2_x_ = r.f64();
+  load_exact(r, acc.comoment_.data(), acc.comoment_.size());
+  return acc;
+}
+
+void MlpaAccumulator::save(SnapshotWriter& w) const {
+  w.tag("MLP1");
+  w.u64(m_);
+  w.u64(n_);
+  for (const auto& bits : n1_) {
+    for (const std::size_t n1 : bits) w.u64(n1);
+  }
+  save_span(w, total_.data(), total_.size());
+  save_span(w, sum1_.data(), sum1_.size());
+}
+
+MlpaAccumulator MlpaAccumulator::load(SnapshotReader& r) {
+  r.expect_tag("MLP1");
+  const std::size_t m = static_cast<std::size_t>(r.u64());
+  MlpaAccumulator acc(m);
+  acc.n_ = static_cast<std::size_t>(r.u64());
+  for (auto& bits : acc.n1_) {
+    for (auto& n1 : bits) n1 = static_cast<std::size_t>(r.u64());
+  }
+  r.f64_into(acc.total_, m);
+  r.f64_into(acc.sum1_, 256 * 8 * m);
+  return acc;
+}
+
+namespace {
+
+/// Shared tail of every MTD-tracker snapshot: true key, grid cursor, and
+/// the per-grid-point verdicts.
+void save_grid_state(SnapshotWriter& w, std::uint8_t true_key,
+                     std::size_t next_grid,
+                     const std::vector<std::size_t>& grid,
+                     const std::vector<char>& success) {
+  w.u8(true_key);
+  w.u64(next_grid);
+  w.u64(grid.size());
+  for (const std::size_t g : grid) w.u64(g);
+  for (const char s : success) w.u8(static_cast<std::uint8_t>(s));
+}
+
+void load_grid_state(SnapshotReader& r, const char* who,
+                     std::uint8_t& true_key, std::size_t& next_grid,
+                     std::vector<std::size_t>& grid,
+                     std::vector<char>& success) {
+  true_key = r.u8();
+  next_grid = static_cast<std::size_t>(r.u64());
+  const std::size_t grid_size = static_cast<std::size_t>(r.u64());
+  if (grid_size > r.remaining() / sizeof(std::uint64_t)) {
+    throw std::runtime_error(std::string(who) +
+                             ": grid length exceeds stream");
+  }
+  grid.resize(grid_size);
+  for (auto& g : grid) g = static_cast<std::size_t>(r.u64());
+  success.resize(grid_size);
+  for (auto& s : success) s = static_cast<char>(r.u8());
+  if (next_grid > grid_size) {
+    throw std::runtime_error(std::string(who) + ": grid cursor out of range");
+  }
+}
+
+}  // namespace
+
 void MtdTracker::save(SnapshotWriter& w) const {
   w.tag("MTD1");
   acc_.save(w);
-  w.u8(true_key_);
-  w.u64(next_grid_);
-  w.u64(grid_.size());
-  for (const std::size_t g : grid_) w.u64(g);
-  for (const char s : success_) w.u8(static_cast<std::uint8_t>(s));
+  save_grid_state(w, true_key_, next_grid_, grid_, success_);
 }
 
 MtdTracker MtdTracker::load(SnapshotReader& r) {
   r.expect_tag("MTD1");
   CpaAccumulator acc = CpaAccumulator::load(r);
-  const std::uint8_t true_key = r.u8();
-  const std::size_t next_grid = static_cast<std::size_t>(r.u64());
-  const std::size_t grid_size = static_cast<std::size_t>(r.u64());
-  if (grid_size > r.remaining() / sizeof(std::uint64_t)) {
-    throw std::runtime_error("MtdTracker::load: grid length exceeds stream");
-  }
   // expected_traces = 0 builds an empty grid; the recorded one replaces it.
-  MtdTracker tracker(acc.model(), acc.samples_per_trace(), true_key, 0);
+  MtdTracker tracker(acc.model(), acc.samples_per_trace(), 0, 0);
   tracker.acc_ = std::move(acc);
-  tracker.grid_.resize(grid_size);
-  for (auto& g : tracker.grid_) g = static_cast<std::size_t>(r.u64());
-  tracker.success_.resize(grid_size);
-  for (auto& s : tracker.success_) s = static_cast<char>(r.u8());
-  if (next_grid > grid_size) {
-    throw std::runtime_error("MtdTracker::load: grid cursor out of range");
-  }
-  tracker.next_grid_ = next_grid;
+  load_grid_state(r, "MtdTracker::load", tracker.true_key_,
+                  tracker.next_grid_, tracker.grid_, tracker.success_);
+  return tracker;
+}
+
+void StaticMtdTracker::save(SnapshotWriter& w) const {
+  w.tag("SMT1");
+  acc_.save(w);
+  save_grid_state(w, true_key_, next_grid_, grid_, success_);
+}
+
+StaticMtdTracker StaticMtdTracker::load(SnapshotReader& r) {
+  r.expect_tag("SMT1");
+  StaticPowerAccumulator acc = StaticPowerAccumulator::load(r);
+  StaticMtdTracker tracker(acc.model(), acc.samples_per_trace(),
+                           acc.window(), 0, 0);
+  tracker.acc_ = std::move(acc);
+  load_grid_state(r, "StaticMtdTracker::load", tracker.true_key_,
+                  tracker.next_grid_, tracker.grid_, tracker.success_);
+  return tracker;
+}
+
+void MlpaMtdTracker::save(SnapshotWriter& w) const {
+  w.tag("MMT1");
+  acc_.save(w);
+  save_grid_state(w, true_key_, next_grid_, grid_, success_);
+}
+
+MlpaMtdTracker MlpaMtdTracker::load(SnapshotReader& r) {
+  r.expect_tag("MMT1");
+  MlpaAccumulator acc = MlpaAccumulator::load(r);
+  MlpaMtdTracker tracker(acc.samples_per_trace(), 0, 0);
+  tracker.acc_ = std::move(acc);
+  load_grid_state(r, "MlpaMtdTracker::load", tracker.true_key_,
+                  tracker.next_grid_, tracker.grid_, tracker.success_);
   return tracker;
 }
 

@@ -50,6 +50,62 @@ int DpaResult::key_rank(std::uint8_t true_key) const {
   return rank;
 }
 
+std::pair<std::size_t, std::size_t> static_window_bounds(StaticWindow window,
+                                                         std::size_t m) {
+  // The awake window takes the rounding slack so a 1-sample trace still has
+  // a non-empty awake half.
+  const std::size_t split = (m + 1) / 2;
+  switch (window) {
+    case StaticWindow::kAll: return {0, m};
+    case StaticWindow::kAwake: return {0, split};
+    case StaticWindow::kAsleep: return {split, m};
+  }
+  return {0, m};
+}
+
+std::string_view to_string(StaticWindow window) {
+  switch (window) {
+    case StaticWindow::kAll: return "all";
+    case StaticWindow::kAwake: return "awake";
+    case StaticWindow::kAsleep: return "asleep";
+  }
+  return "all";
+}
+
+int StaticPowerResult::key_rank(std::uint8_t true_key) const {
+  int rank = 0;
+  const double mine = correlation[true_key];
+  for (int k = 0; k < 256; ++k) {
+    if (k != true_key && correlation[k] > mine) ++rank;
+  }
+  return rank;
+}
+
+double StaticPowerResult::margin(std::uint8_t true_key) const {
+  double best_wrong = 0.0;
+  for (int k = 0; k < 256; ++k) {
+    if (k != true_key) best_wrong = std::max(best_wrong, correlation[k]);
+  }
+  return correlation[true_key] - best_wrong;
+}
+
+int MlpaResult::key_rank(std::uint8_t true_key) const {
+  int rank = 0;
+  const double mine = score[true_key];
+  for (int k = 0; k < 256; ++k) {
+    if (k != true_key && score[k] > mine) ++rank;
+  }
+  return rank;
+}
+
+double MlpaResult::margin(std::uint8_t true_key) const {
+  double best_wrong = 0.0;
+  for (int k = 0; k < 256; ++k) {
+    if (k != true_key) best_wrong = std::max(best_wrong, score[k]);
+  }
+  return score[true_key] - best_wrong;
+}
+
 CpaResult cpa_attack(TraceSource& source, LeakageModel model,
                      bool keep_time_curves) {
   CpaAccumulator acc(model, source.samples_per_trace());

@@ -151,6 +151,86 @@ class TvlaAccumulator {
   std::vector<char> is_fixed_scratch_;
 };
 
+/// Streaming static-power CPA (Bhandari et al., arXiv:2402.03196): each
+/// trace of a quiescent acquisition collapses to one scalar -- the mean
+/// leakage current over a gating window (static_window_bounds) -- and the
+/// engine maintains Pearson co-moments between that scalar and the leakage
+/// model of the 256 guesses.  Averaging the window inside the accumulator is
+/// the attack's core trick: W quiescent samples of the same held state
+/// suppress the measurement noise by sqrt(W).
+/// Memory: O(256) doubles.  add_batch is serial (256 slots total), so batch
+/// and thread invariance hold trivially.
+class StaticPowerAccumulator {
+ public:
+  StaticPowerAccumulator(LeakageModel model, std::size_t samples,
+                         StaticWindow window = StaticWindow::kAll);
+
+  LeakageModel model() const { return model_; }
+  StaticWindow window() const { return window_; }
+  std::size_t samples_per_trace() const { return m_; }
+  std::size_t num_traces() const { return n_; }
+
+  void add(std::uint8_t plaintext, std::span<const double> trace);
+  /// Serial fold in trace order: bitwise identical to per-trace add() for
+  /// any batching of the same stream.
+  void add_batch(const TraceBatch& batch);
+  /// Chan-merge of a disjoint accumulator over the same model/window/samples.
+  void merge(const StaticPowerAccumulator& other);
+  StaticPowerResult snapshot() const;
+
+  /// Bitwise state serialization (see CpaAccumulator::save).
+  void save(SnapshotWriter& w) const;
+  static StaticPowerAccumulator load(SnapshotReader& r);
+
+ private:
+  LeakageModel model_;
+  StaticWindow window_;
+  std::size_t m_;
+  std::size_t n_ = 0;
+  // Welford state for the per-guess predictions h ...
+  std::array<double, 256> mean_h_{};
+  std::array<double, 256> m2_h_{};
+  // ... the scalar window-mean observable x ...
+  double mean_x_ = 0.0;
+  double m2_x_ = 0.0;
+  // ... and the co-moment sum_i (h_i - mean_h)(x_i - mean_x) per guess.
+  std::array<double, 256> comoment_{};
+};
+
+/// Streaming MLPA (Roche & Tavernier, arXiv:0906.0237): partition sums for
+/// every (guess, S-box output bit) pair, combined multi-linearly at snapshot
+/// time.  The per-guess bit-0 partition of classic DPA generalizes to all 8
+/// hypothesis bits; the guess-independent total sum supplies each bit's
+/// complement partition, so the state is one 256 x 8 x samples sum block.
+/// Memory: O(256 * 8 * samples) doubles.
+class MlpaAccumulator {
+ public:
+  explicit MlpaAccumulator(std::size_t samples);
+
+  std::size_t samples_per_trace() const { return m_; }
+  std::size_t num_traces() const { return n_; }
+
+  void add(std::uint8_t plaintext, std::span<const double> trace);
+  /// Parallel over the 256 guesses (each task owns its guess's 8 partition
+  /// rows and walks the batch in trace order); the guess-independent total
+  /// row is folded serially.  Bitwise identical to serial add().
+  void add_batch(const TraceBatch& batch);
+  /// Exact partition-sum merge (element-wise addition).
+  void merge(const MlpaAccumulator& other);
+  MlpaResult snapshot() const;
+
+  /// Bitwise state serialization (see CpaAccumulator::save).
+  void save(SnapshotWriter& w) const;
+  static MlpaAccumulator load(SnapshotReader& r);
+
+ private:
+  std::size_t m_;
+  std::size_t n_ = 0;
+  std::vector<double> total_;  ///< sum of all traces (m samples)
+  std::array<std::array<std::size_t, 8>, 256> n1_{};
+  std::vector<double> sum1_;  ///< 256 * 8 rows of m samples (bit = 1)
+};
+
 /// Checkpointed measurements-to-disclosure over one accumulator stream.
 ///
 /// Feed the campaign through add()/add_batch(); the tracker splits batches
@@ -188,6 +268,62 @@ class MtdTracker {
   void checkpoint();
 
   CpaAccumulator acc_;
+  std::uint8_t true_key_;
+  std::vector<std::size_t> grid_;
+  std::vector<char> success_;
+  std::size_t next_grid_ = 0;
+  TraceBatch scratch_;
+};
+
+/// MtdTracker's grid/checkpoint scheme over a StaticPowerAccumulator: the
+/// single-pass measurements-to-disclosure of the static-power attack.
+class StaticMtdTracker {
+ public:
+  StaticMtdTracker(LeakageModel model, std::size_t samples,
+                   StaticWindow window, std::uint8_t true_key,
+                   std::size_t expected_traces, std::size_t grid_points = 16);
+
+  void add(std::uint8_t plaintext, std::span<const double> trace);
+  void add_batch(const TraceBatch& batch);
+  std::size_t finish();
+
+  StaticPowerResult snapshot() const { return acc_.snapshot(); }
+  const StaticPowerAccumulator& accumulator() const { return acc_; }
+
+  void save(SnapshotWriter& w) const;
+  static StaticMtdTracker load(SnapshotReader& r);
+
+ private:
+  void checkpoint();
+
+  StaticPowerAccumulator acc_;
+  std::uint8_t true_key_;
+  std::vector<std::size_t> grid_;
+  std::vector<char> success_;
+  std::size_t next_grid_ = 0;
+  TraceBatch scratch_;
+};
+
+/// MtdTracker's grid/checkpoint scheme over an MlpaAccumulator.
+class MlpaMtdTracker {
+ public:
+  MlpaMtdTracker(std::size_t samples, std::uint8_t true_key,
+                 std::size_t expected_traces, std::size_t grid_points = 16);
+
+  void add(std::uint8_t plaintext, std::span<const double> trace);
+  void add_batch(const TraceBatch& batch);
+  std::size_t finish();
+
+  MlpaResult snapshot() const { return acc_.snapshot(); }
+  const MlpaAccumulator& accumulator() const { return acc_; }
+
+  void save(SnapshotWriter& w) const;
+  static MlpaMtdTracker load(SnapshotReader& r);
+
+ private:
+  void checkpoint();
+
+  MlpaAccumulator acc_;
   std::uint8_t true_key_;
   std::vector<std::size_t> grid_;
   std::vector<char> success_;

@@ -16,6 +16,8 @@
 
 #include <array>
 #include <cstdint>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "pgmcml/sca/trace_source.hpp"
@@ -63,6 +65,48 @@ struct DpaResult {
   std::array<double, 256> peak_difference{};
   int best_guess = -1;
   int key_rank(std::uint8_t true_key) const;
+};
+
+/// Which gating phase of a quiescent trace the static-power attack reads.
+/// Static acquisitions lay the trace out as [awake hold | asleep hold]: the
+/// first half samples the leakage with the circuit powered and holding its
+/// state, the second half with the block gated off (non-gated styles simply
+/// keep holding, so both windows see the same physics).
+enum class StaticWindow {
+  kAll,     ///< average the whole trace
+  kAwake,   ///< first half: powered, state held
+  kAsleep,  ///< second half: gated off (PG-MCML) or continued hold
+};
+
+/// Sample range [lo, hi) of `window` within an m-sample quiescent trace.
+std::pair<std::size_t, std::size_t> static_window_bounds(StaticWindow window,
+                                                         std::size_t m);
+
+std::string_view to_string(StaticWindow window);
+
+/// Static-power CPA verdict (Bhandari et al. style): Pearson correlation
+/// between the leakage model and the per-trace mean quiescent current over
+/// one gating window.
+struct StaticPowerResult {
+  /// |corr(guess)| of the window-averaged quiescent current.
+  std::array<double, 256> correlation{};
+  int best_guess = -1;
+  StaticWindow window = StaticWindow::kAll;
+  std::size_t traces = 0;
+
+  int key_rank(std::uint8_t true_key) const;
+  double margin(std::uint8_t true_key) const;
+};
+
+/// MLPA verdict (Roche & Tavernier): the 8 single-bit partition biases of
+/// each guess combined multi-linearly (l2 over the bit hypotheses).
+struct MlpaResult {
+  /// max_t sqrt(sum_b diff_b(t)^2) for each key guess.
+  std::array<double, 256> score{};
+  int best_guess = -1;
+
+  int key_rank(std::uint8_t true_key) const;
+  double margin(std::uint8_t true_key) const;
 };
 
 /// Kocher-style difference of means, partitioning on a predicted S-box bit.

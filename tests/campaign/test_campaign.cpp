@@ -67,6 +67,26 @@ void expect_bitwise_equal(const CampaignResult& a, const CampaignResult& b) {
   EXPECT_EQ(a.key_rank, b.key_rank);
   EXPECT_EQ(a.mtd, b.mtd);
   EXPECT_EQ(a.traces_accumulated, b.traces_accumulated);
+  // Static-power and MLPA verdicts (inactive modalities compare as the
+  // zero-initialized defaults on both sides).
+  EXPECT_EQ(std::memcmp(a.static_awake.correlation.data(),
+                        b.static_awake.correlation.data(),
+                        sizeof(a.static_awake.correlation)),
+            0);
+  EXPECT_EQ(std::memcmp(a.static_asleep.correlation.data(),
+                        b.static_asleep.correlation.data(),
+                        sizeof(a.static_asleep.correlation)),
+            0);
+  EXPECT_EQ(a.static_awake_rank, b.static_awake_rank);
+  EXPECT_EQ(a.static_asleep_rank, b.static_asleep_rank);
+  EXPECT_EQ(a.static_awake_mtd, b.static_awake_mtd);
+  EXPECT_EQ(a.static_asleep_mtd, b.static_asleep_mtd);
+  EXPECT_EQ(a.static_traces_accumulated, b.static_traces_accumulated);
+  EXPECT_EQ(std::memcmp(a.mlpa.score.data(), b.mlpa.score.data(),
+                        sizeof(a.mlpa.score)),
+            0);
+  EXPECT_EQ(a.mlpa_rank, b.mlpa_rank);
+  EXPECT_EQ(a.mlpa_mtd, b.mlpa_mtd);
 }
 
 TEST(CampaignCheckpoint, RoundTripsBitwise) {
@@ -163,6 +183,63 @@ TEST(CampaignCheckpoint, EveryCrashArtifactIsACleanMiss) {
   std::filesystem::remove_all(spool);
 }
 
+TEST(CampaignCheckpoint, StaticAndMlpaAccumulatorsRoundTripBitwise) {
+  const std::string spool = fresh_spool("static-roundtrip");
+  std::filesystem::create_directories(spool);
+  const std::string path = spool + "/shard-0.ckpt";
+  const auto model = sca::LeakageModel::kHammingWeight;
+
+  WorkerCheckpoint state(model, 16, /*static_power=*/true, /*with_mlpa=*/true);
+  state.phase = kPhaseStatic;
+  state.range_hi = 24;
+  state.next_index = 8;
+  const std::vector<double> trace(16, 0.5);
+  state.static_awake->add(0x3c, trace);
+  state.static_asleep->add(0x3c, trace);
+  state.mlpa->add(0x3c, trace);
+
+  ASSERT_TRUE(save_checkpoint(path, state, /*config_digest=*/0xabcd));
+  auto loaded = load_checkpoint(path, model, 16, 0xabcd,
+                                /*static_power=*/true, /*mlpa=*/true);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->phase, kPhaseStatic);
+  ASSERT_TRUE(loaded->static_awake.has_value());
+  ASSERT_TRUE(loaded->static_asleep.has_value());
+  ASSERT_TRUE(loaded->mlpa.has_value());
+  EXPECT_EQ(loaded->static_awake->window(), sca::StaticWindow::kAwake);
+  EXPECT_EQ(loaded->static_asleep->window(), sca::StaticWindow::kAsleep);
+  sca::SnapshotWriter a, b;
+  state.static_awake->save(a);
+  state.static_asleep->save(a);
+  state.mlpa->save(a);
+  loaded->static_awake->save(b);
+  loaded->static_asleep->save(b);
+  loaded->mlpa->save(b);
+  EXPECT_EQ(a.buffer(), b.buffer());
+
+  // A checkpoint's optional-accumulator layout must match the loader's
+  // expectation in BOTH directions: stale spools read as clean misses.
+  EXPECT_FALSE(load_checkpoint(path, model, 16, 0xabcd).has_value());
+  EXPECT_FALSE(load_checkpoint(path, model, 16, 0xabcd, true, false)
+                   .has_value());
+  WorkerCheckpoint plain(model, 16);
+  plain.range_hi = 24;
+  ASSERT_TRUE(save_checkpoint(path, plain, 0xabcd));
+  EXPECT_FALSE(load_checkpoint(path, model, 16, 0xabcd, true, true)
+                   .has_value());
+  std::filesystem::remove_all(spool);
+}
+
+TEST(Campaign, StaticAndMlpaDigestSeparatesCampaigns) {
+  CampaignOptions a;
+  CampaignOptions b = a;
+  b.static_power = true;
+  EXPECT_NE(campaign_config_digest(a), campaign_config_digest(b));
+  b = a;
+  b.mlpa = true;
+  EXPECT_NE(campaign_config_digest(a), campaign_config_digest(b));
+}
+
 TEST(Campaign, DistributedEqualsSerialBitwise) {
   const std::string spool = fresh_spool("baseline");
   CampaignOptions o = small_options(spool);
@@ -206,6 +283,30 @@ TEST(Campaign, CrashAfterDurableCheckpointResumesBitwise) {
   EXPECT_GE(distributed.restarts, 2u);
   EXPECT_EQ(distributed.shards_skipped, 0u);
   expect_bitwise_equal(distributed, run_campaign_serial(o));
+  std::filesystem::remove_all(spool);
+}
+
+TEST(Campaign, StaticPhaseCrashRecoversBitwise) {
+  const std::string spool = fresh_spool("staticcrash");
+  CampaignOptions o = small_options(spool);
+  o.static_power = true;
+  o.mlpa = true;
+  // Shard 1 dies after a durable checkpoint deep in its third (static)
+  // phase; the restart must resume the quiescent stream and both static
+  // accumulators mid-phase, and the recovered campaign must be bitwise
+  // equal to the serial reference across every modality.
+  o.post_checkpoint_hook = [](std::uint64_t shard, int restart,
+                              std::uint64_t ordinal) {
+    if (shard == 1 && restart == 0 && ordinal == 8) ::raise(SIGKILL);
+  };
+  const CampaignResult distributed = run_campaign(o);
+  EXPECT_GE(distributed.restarts, 1u);
+  EXPECT_EQ(distributed.shards_skipped, 0u);
+  EXPECT_EQ(distributed.static_traces_accumulated, o.num_traces);
+  const CampaignResult serial = run_campaign_serial(o);
+  EXPECT_GE(distributed.static_awake_rank, 0);
+  EXPECT_GE(distributed.mlpa_rank, 0);
+  expect_bitwise_equal(distributed, serial);
   std::filesystem::remove_all(spool);
 }
 

@@ -357,6 +357,76 @@ TEST(PlanConfig, ParsesEveryTask) {
   EXPECT_FALSE(camp.campaign.compute_mtd);
 }
 
+TEST(PlanConfig, ParsesStaticPowerAndMlpaAttacks) {
+  // A static-acquisition dpa_flow with both new modalities.
+  const Plan stat = plan_from_json(
+      parse(R"({"pgmcml_schema": 1, "kind": "plan", "name": "sp",
+                "task": "dpa_flow", "traces": 256, "samples": 200,
+                "acquisition": "static",
+                "attacks": ["cpa", "dpa", "static_power", "mlpa", "mtd"]})"),
+      "sp.json");
+  EXPECT_EQ(stat.dpa_flow.acquisition, core::AcquisitionMode::kStatic);
+  EXPECT_TRUE(stat.dpa_flow.compute_static);
+  EXPECT_TRUE(stat.dpa_flow.compute_mlpa);
+  EXPECT_TRUE(stat.dpa_flow.compute_mtd);
+
+  // MLPA rides a plain dynamic acquisition; acquisition defaults to dynamic.
+  const Plan mlpa = plan_from_json(
+      parse(R"({"pgmcml_schema": 1, "kind": "plan", "name": "m",
+                "task": "dpa_flow", "attacks": ["cpa", "mlpa"]})"),
+      "m.json");
+  EXPECT_EQ(mlpa.dpa_flow.acquisition, core::AcquisitionMode::kDynamic);
+  EXPECT_FALSE(mlpa.dpa_flow.compute_static);
+  EXPECT_TRUE(mlpa.dpa_flow.compute_mlpa);
+
+  // Campaign toggles: static_power and mlpa map to their option flags and
+  // default off when an attacks list omits them.
+  const Plan camp = plan_from_json(
+      parse(R"({"pgmcml_schema": 1, "kind": "plan", "name": "c",
+                "task": "campaign", "traces": 512,
+                "attacks": ["cpa", "dpa", "tvla", "static_power", "mlpa"]})"),
+      "c.json");
+  EXPECT_TRUE(camp.campaign.static_power);
+  EXPECT_TRUE(camp.campaign.mlpa);
+  const Plan off = plan_from_json(
+      parse(R"({"pgmcml_schema": 1, "kind": "plan", "name": "c2",
+                "task": "campaign", "attacks": ["cpa"]})"),
+      "c2.json");
+  EXPECT_FALSE(off.campaign.static_power);
+  EXPECT_FALSE(off.campaign.mlpa);
+}
+
+TEST(PlanConfig, StaticPowerRequiresStaticAcquisition) {
+  // The contradiction is rejected with a path-qualified error that names
+  // the fix (an acquisition of quiescent holds).
+  const std::string what = error_of([&] {
+    plan_from_json(
+        parse(R"({"pgmcml_schema": 1, "kind": "plan", "name": "x",
+                  "task": "dpa_flow", "attacks": ["static_power"]})"),
+        "x.json");
+  });
+  EXPECT_NE(what.find("x.json/attacks"), std::string::npos) << what;
+  EXPECT_NE(what.find("static"), std::string::npos) << what;
+
+  // An unknown attack label enumerates the full closed world.
+  const std::string unknown = error_of([&] {
+    plan_from_json(
+        parse(R"({"pgmcml_schema": 1, "kind": "plan", "name": "x",
+                  "task": "dpa_flow", "attacks": ["spa"]})"),
+        "x.json");
+  });
+  EXPECT_NE(unknown.find("static_power"), std::string::npos) << unknown;
+  EXPECT_NE(unknown.find("mlpa"), std::string::npos) << unknown;
+
+  // "acquisition" is a dpa_flow key, not a campaign key (the campaign runs
+  // its static phase on its own stream).
+  EXPECT_THROW(plan_from_json(
+                   parse(R"({"pgmcml_schema": 1, "kind": "plan", "name": "x",
+                             "task": "campaign", "acquisition": "static"})"),
+                   "x.json"),
+               ConfigError);
+}
+
 TEST(PlanConfig, RejectsBadPlans) {
   // Unknown cell name.
   EXPECT_THROW(plan_from_json(

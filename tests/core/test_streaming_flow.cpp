@@ -184,6 +184,93 @@ TEST(StreamingFlow, FaultedTracesAreSkippedAndRecordedWithoutMaterializing) {
   EXPECT_EQ(serial.mean_current, parallel.mean_current);
 }
 
+TEST(StreamingFlow, StaticAcquisitionMountsTheQuiescentAttack) {
+  // The paper's security story for the static channel: quiescent holds
+  // disclose CMOS while the circuit holds power, and PG-MCML's gated-off
+  // window starves the attack (state-independent sleep floor).
+  DpaFlowOptions opt;
+  opt.num_traces = 400;
+  opt.samples = 200;
+  opt.acquisition = AcquisitionMode::kStatic;
+  opt.compute_static = true;
+  opt.compute_mtd = true;
+  opt.keep_traces = false;
+
+  const DpaFlowResult cmos = run_dpa_flow(CellLibrary::cmos90(), opt);
+  EXPECT_EQ(cmos.static_awake.window, sca::StaticWindow::kAwake);
+  EXPECT_EQ(cmos.static_asleep.window, sca::StaticWindow::kAsleep);
+  EXPECT_EQ(cmos.static_awake.traces, opt.num_traces);
+  EXPECT_EQ(cmos.static_awake.key_rank(opt.key), 0)
+      << "CMOS leakage asymmetry should disclose under quiescent averaging";
+  EXPECT_GT(cmos.static_awake_mtd, 0u);
+
+  const DpaFlowResult pg = run_dpa_flow(CellLibrary::pgmcml90(), opt);
+  EXPECT_EQ(pg.static_awake.key_rank(opt.key), 0)
+      << "awake PG-MCML still holds power and leaks statically";
+  EXPECT_NE(pg.static_asleep.key_rank(opt.key), 0)
+      << "gated-off PG-MCML should starve the static attack";
+  EXPECT_EQ(pg.static_asleep_mtd, 0u);
+}
+
+TEST(StreamingFlow, StaticSourceIsBatchInvariantAndResumable) {
+  DpaFlowOptions opt;
+  opt.num_traces = 50;
+  opt.samples = 120;
+  opt.acquisition = AcquisitionMode::kStatic;
+  const sca::TraceSet whole =
+      acquire_reduced_aes_traces(CellLibrary::pgmcml90(), opt);
+  ASSERT_EQ(whole.num_traces(), opt.num_traces);
+
+  // A source over the tail range [20, 50) reproduces traces 20..49 bitwise:
+  // the contract that lets the campaign's static phase shard and resume.
+  DpaFlowOptions tail = opt;
+  tail.first_trace = 20;
+  tail.num_traces = 30;
+  tail.batch_size = 7;
+  auto source = make_acquisition_source(CellLibrary::pgmcml90(), tail);
+  sca::TraceBatch batch;
+  std::size_t seen = 20;
+  while (source->next(batch)) {
+    for (std::size_t i = 0; i < batch.size(); ++i, ++seen) {
+      EXPECT_EQ(batch.plaintexts[i], whole.plaintext(seen));
+      for (std::size_t j = 0; j < opt.samples; ++j) {
+        EXPECT_EQ(batch.traces[i][j], whole.trace(seen)[j]);  // bitwise
+      }
+    }
+  }
+  EXPECT_EQ(seen, 50u);
+}
+
+TEST(StreamingFlow, ComputeStaticRequiresStaticAcquisition) {
+  DpaFlowOptions opt;
+  opt.num_traces = 8;
+  opt.samples = 100;
+  opt.compute_static = true;  // acquisition left at kDynamic
+  EXPECT_THROW(run_dpa_flow(CellLibrary::cmos90(), opt),
+               std::invalid_argument);
+}
+
+TEST(StreamingFlow, MlpaRidesTheDynamicFlow) {
+  DpaFlowOptions opt;
+  opt.num_traces = 120;
+  opt.samples = 300;
+  opt.compute_mlpa = true;
+  opt.compute_mtd = true;
+  opt.keep_traces = true;
+  const DpaFlowResult r = run_dpa_flow(CellLibrary::cmos90(), opt);
+
+  // The flow's streamed MLPA equals a batch accumulation of the kept traces.
+  sca::MlpaAccumulator acc(opt.samples);
+  for (std::size_t i = 0; i < r.traces.num_traces(); ++i) {
+    acc.add(r.traces.plaintext(i), r.traces.trace(i));
+  }
+  const sca::MlpaResult batch = acc.snapshot();
+  for (int k = 0; k < 256; ++k) {
+    EXPECT_EQ(r.mlpa.score[k], batch.score[k]);  // bitwise
+  }
+  EXPECT_EQ(r.mlpa.best_guess, batch.best_guess);
+}
+
 TEST(StreamingFlow, RejectsZeroBatchSize) {
   DpaFlowOptions opt;
   opt.batch_size = 0;

@@ -111,6 +111,53 @@ TEST(Characterize, SequentialCellsCharacterize) {
   EXPECT_NEAR(dff.static_current, 2 * 50e-6, 25e-6);  // two latch stages
 }
 
+TEST(Characterize, StateLeakageSeparatesAwakeFromGatedOff) {
+  // Transistor-level ground truth of the static-power side channel, on one
+  // frozen mismatched die (seed 1): the awake currents of a power-gated cell
+  // depend on the held state, the gated-off currents barely do.
+  McmlDesign gated;  // default design power-gates (kSeriesSleep)
+  ASSERT_TRUE(gated.power_gated());
+  const StateLeakageResult r =
+      measure_state_leakage(CellKind::kAnd2, gated, /*mismatch_seed=*/1);
+  ASSERT_EQ(r.points.size(), 4u);  // 2 inputs -> 4 held states
+  for (const auto& p : r.points) ASSERT_TRUE(p.ok) << p.error;
+
+  EXPECT_GT(r.awake_spread, 0.0);
+  EXPECT_GT(r.asleep_spread, 0.0);
+  // The gated-off spread collapses by orders of magnitude: this ordering is
+  // the calibration target of power::PowerTracer::quiescent_current.
+  EXPECT_LT(r.asleep_spread, r.awake_spread / 100.0);
+  for (const auto& p : r.points) {
+    EXPECT_LT(p.asleep_current, p.awake_current / 10.0) << p.state;
+  }
+}
+
+TEST(Characterize, StateLeakageIdealCellIsSymmetric) {
+  // Seed 0 measures the perfectly matched cell: its legs are symmetric by
+  // construction, so the held-state currents are identical and the spread
+  // is exactly zero -- the signal really comes from mismatch, not from the
+  // testbench.
+  McmlDesign d;
+  d.gating = GatingTopology::kNone;  // plain MCML: nothing to gate off
+  const StateLeakageResult ideal =
+      measure_state_leakage(CellKind::kBuf, d, /*mismatch_seed=*/0);
+  ASSERT_FALSE(ideal.points.empty());
+  for (const auto& p : ideal.points) ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(ideal.awake_spread, 0.0);
+
+  // A non-gated design repeats the awake current in the asleep column.
+  EXPECT_EQ(ideal.points[0].asleep_current, ideal.points[0].awake_current);
+
+  // The frozen draw is deterministic: same seed, same die, same currents.
+  const StateLeakageResult a = measure_state_leakage(CellKind::kBuf, d, 7);
+  const StateLeakageResult b = measure_state_leakage(CellKind::kBuf, d, 7);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].awake_current, b.points[i].awake_current);
+  }
+  EXPECT_GT(a.awake_spread, 0.0);
+}
+
 TEST(Characterize, BufferSweepPointsBehaveLikeFig3) {
   McmlDesign base;
   const auto p25 = characterize_buffer_at(base, 25e-6);

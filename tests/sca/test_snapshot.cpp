@@ -163,6 +163,131 @@ TEST(Snapshot, MtdTrackerResumesToSameDisclosure) {
             serialized(straight.accumulator()));
 }
 
+TEST(Snapshot, StaticPowerResumesBitwise) {
+  const TraceSet ts = synthetic_traces(0x2b, 120);
+  StaticPowerAccumulator live(LeakageModel::kHammingWeight,
+                              ts.samples_per_trace(), StaticWindow::kAwake);
+  for (std::size_t i = 0; i < 60; ++i) live.add(ts.plaintext(i), ts.trace(i));
+
+  SnapshotWriter w;
+  live.save(w);
+  SnapshotReader r(w.buffer());
+  StaticPowerAccumulator resumed = StaticPowerAccumulator::load(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(resumed.window(), StaticWindow::kAwake);
+  EXPECT_EQ(resumed.model(), LeakageModel::kHammingWeight);
+  EXPECT_EQ(serialized(resumed), serialized(live));
+
+  for (std::size_t i = 60; i < ts.num_traces(); ++i) {
+    live.add(ts.plaintext(i), ts.trace(i));
+    resumed.add(ts.plaintext(i), ts.trace(i));
+  }
+  EXPECT_EQ(serialized(resumed), serialized(live));
+  const auto a = live.snapshot();
+  const auto b = resumed.snapshot();
+  EXPECT_EQ(std::memcmp(a.correlation.data(), b.correlation.data(),
+                        sizeof(a.correlation)),
+            0);
+  EXPECT_EQ(a.best_guess, b.best_guess);
+}
+
+TEST(Snapshot, MlpaResumesBitwise) {
+  const TraceSet ts = synthetic_traces(0x2b, 100);
+  MlpaAccumulator live(ts.samples_per_trace());
+  for (std::size_t i = 0; i < 50; ++i) live.add(ts.plaintext(i), ts.trace(i));
+
+  SnapshotWriter w;
+  live.save(w);
+  SnapshotReader r(w.buffer());
+  MlpaAccumulator resumed = MlpaAccumulator::load(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(serialized(resumed), serialized(live));
+
+  for (std::size_t i = 50; i < ts.num_traces(); ++i) {
+    live.add(ts.plaintext(i), ts.trace(i));
+    resumed.add(ts.plaintext(i), ts.trace(i));
+  }
+  EXPECT_EQ(serialized(resumed), serialized(live));
+  const auto sa = live.snapshot().score;
+  const auto sb = resumed.snapshot().score;
+  EXPECT_EQ(std::memcmp(sa.data(), sb.data(), sizeof(sa)), 0);
+}
+
+TEST(Snapshot, StaticAndMlpaMtdTrackersResumeToSameDisclosure) {
+  const std::uint8_t key = 0x2b;
+  const TraceSet ts = synthetic_traces(key, 160);
+
+  StaticMtdTracker s_straight(LeakageModel::kHammingWeight,
+                              ts.samples_per_trace(), StaticWindow::kAll, key,
+                              ts.num_traces());
+  MlpaMtdTracker m_straight(ts.samples_per_trace(), key, ts.num_traces());
+  for (std::size_t i = 0; i < ts.num_traces(); ++i) {
+    s_straight.add(ts.plaintext(i), ts.trace(i));
+    m_straight.add(ts.plaintext(i), ts.trace(i));
+  }
+
+  StaticMtdTracker s_first(LeakageModel::kHammingWeight,
+                           ts.samples_per_trace(), StaticWindow::kAll, key,
+                           ts.num_traces());
+  MlpaMtdTracker m_first(ts.samples_per_trace(), key, ts.num_traces());
+  for (std::size_t i = 0; i < 70; ++i) {
+    s_first.add(ts.plaintext(i), ts.trace(i));
+    m_first.add(ts.plaintext(i), ts.trace(i));
+  }
+  SnapshotWriter w;
+  s_first.save(w);
+  m_first.save(w);
+  SnapshotReader r(w.buffer());
+  StaticMtdTracker s_resumed = StaticMtdTracker::load(r);
+  MlpaMtdTracker m_resumed = MlpaMtdTracker::load(r);
+  EXPECT_TRUE(r.exhausted());
+  for (std::size_t i = 70; i < ts.num_traces(); ++i) {
+    s_resumed.add(ts.plaintext(i), ts.trace(i));
+    m_resumed.add(ts.plaintext(i), ts.trace(i));
+  }
+  EXPECT_EQ(s_resumed.finish(), s_straight.finish());
+  EXPECT_EQ(m_resumed.finish(), m_straight.finish());
+  EXPECT_EQ(serialized(s_resumed.accumulator()),
+            serialized(s_straight.accumulator()));
+  EXPECT_EQ(serialized(m_resumed.accumulator()),
+            serialized(m_straight.accumulator()));
+}
+
+TEST(Snapshot, LoadRejectsCorruptStaticAndMlpaStreams) {
+  StaticPowerAccumulator sp(LeakageModel::kHammingWeight, 8,
+                            StaticWindow::kAsleep);
+  sp.add(0x10, std::vector<double>(8, 1.0));
+  SnapshotWriter ws;
+  sp.save(ws);
+  const std::string sp_bytes = ws.take();
+
+  // Truncated mid-state.
+  SnapshotReader short_r(
+      std::string_view(sp_bytes.data(), sp_bytes.size() / 2));
+  EXPECT_THROW(StaticPowerAccumulator::load(short_r), std::runtime_error);
+
+  MlpaAccumulator ml(8);
+  ml.add(0x10, std::vector<double>(8, 1.0));
+  SnapshotWriter wm;
+  ml.save(wm);
+  const std::string ml_bytes = wm.take();
+  SnapshotReader ml_short(
+      std::string_view(ml_bytes.data(), ml_bytes.size() - 5));
+  EXPECT_THROW(MlpaAccumulator::load(ml_short), std::runtime_error);
+
+  // Wrong leading tag in both directions: the streams are not confusable.
+  SnapshotReader sp_as_mlpa(sp_bytes);
+  EXPECT_THROW(MlpaAccumulator::load(sp_as_mlpa), std::runtime_error);
+  SnapshotReader mlpa_as_sp(ml_bytes);
+  EXPECT_THROW(StaticPowerAccumulator::load(mlpa_as_sp), std::runtime_error);
+
+  // A corrupted window enum must be rejected, not trusted.
+  std::string bad_window = sp_bytes;
+  bad_window[8] = 0x7f;  // window u32 follows the 4-char tag + model u32
+  SnapshotReader bad_r(bad_window);
+  EXPECT_THROW(StaticPowerAccumulator::load(bad_r), std::runtime_error);
+}
+
 TEST(Snapshot, LoadRejectsCorruptAccumulatorStreams) {
   CpaAccumulator acc(LeakageModel::kHammingWeight, 8);
   SnapshotWriter w;
